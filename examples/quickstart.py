@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: load-balanced SpMV in a dozen lines.
+
+Mirrors the paper's Listing 3 workflow:
+
+1. a sparse matrix (the *tile set*: rows are tiles, nonzeros are atoms);
+2. a load-balancing schedule picked by name -- switching schedules is a
+   one-identifier change (Section 6.2);
+3. the SpMV computation, which is the same four lines regardless of the
+   schedule.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import available_schedules, load_dataset, spmv
+
+def main() -> None:
+    # A heavy-tailed matrix: the irregular workload GPUs struggle with.
+    dataset = load_dataset("power_a19", scale="smoke")
+    matrix = dataset.matrix
+    print(f"dataset: {dataset.name}  {matrix.num_rows} x {matrix.num_cols}, "
+          f"{matrix.nnz} nonzeros, degree CV = {dataset.meta['cv']:.2f}\n")
+
+    x = np.random.default_rng(0).uniform(size=matrix.num_cols)
+    expected = matrix.to_dense() @ x
+
+    print(f"{'schedule':<16} {'model ms':>10} {'SIMT eff':>9} {'occupancy':>10}")
+    for name in sorted(available_schedules()) + ["heuristic"]:
+        result = spmv(matrix, x, schedule=name)
+        assert np.allclose(result.output, expected), name
+        print(
+            f"{name:<16} {result.elapsed_ms:>10.5f} "
+            f"{result.stats.simt_efficiency:>9.3f} "
+            f"{result.stats.occupancy:>10.3f}"
+        )
+
+    chosen = spmv(matrix, x, schedule="heuristic").schedule
+    print(f"\nheuristic (Section 6.2) picked: {chosen}")
+    print("all schedules produced identical results -- load balancing is")
+    print("fully decoupled from the computation.")
+
+
+if __name__ == "__main__":
+    main()

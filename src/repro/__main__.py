@@ -1,0 +1,17 @@
+"""``python -m repro`` entry point."""
+
+import os
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe: exit
+        # quietly, the POSIX way.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

@@ -1,0 +1,122 @@
+"""Shared plumbing for the application kernels.
+
+Applications in this package follow the paper's three-stage pattern:
+
+1. build a :class:`~repro.core.work.WorkSpec` from the input format,
+2. instantiate a schedule by name (one-identifier switch, Section 6.2),
+3. consume the balanced ranges.
+
+Each app supports two engines:
+
+* ``"vector"`` -- NumPy functional result + analytic timing from the
+  schedule's planner (corpus scale);
+* ``"simt"`` -- the kernel is executed thread-by-thread on the simulated
+  GPU through the schedule's per-thread ranges (ground truth; small
+  inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.heuristic import HeuristicParams, select_schedule
+from ..core.schedule import LaunchParams, Schedule, WorkCosts, make_schedule
+from ..core.work import WorkSpec
+from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.cost_model import KernelStats
+from ..sparse.csr import CsrMatrix
+
+__all__ = ["AppResult", "resolve_schedule", "spmv_costs", "ENGINES"]
+
+ENGINES = ("vector", "simt")
+
+
+@dataclass
+class AppResult:
+    """Output of one simulated application run."""
+
+    output: Any
+    stats: KernelStats
+    schedule: str
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.stats.elapsed_ms
+
+
+def resolve_schedule(
+    schedule: str | Schedule,
+    work: WorkSpec,
+    spec: GpuSpec,
+    launch: LaunchParams | None = None,
+    *,
+    matrix: CsrMatrix | None = None,
+    heuristic: HeuristicParams | None = None,
+    **options,
+) -> Schedule:
+    """Turn a schedule name (or ``"heuristic"``) into an instance.
+
+    ``"heuristic"`` applies the Section 6.2 selector and requires the
+    matrix for its shape statistics.
+    """
+    if isinstance(schedule, Schedule):
+        return schedule
+    name = schedule
+    if name == "heuristic":
+        if matrix is None:
+            raise ValueError("schedule='heuristic' requires the input matrix")
+        name = select_schedule(matrix, heuristic or HeuristicParams())
+    return make_schedule(name, work, spec, launch, **options)
+
+
+def spmv_costs(
+    spec: GpuSpec = V100, *, gather_working_set_bytes: float | None = None
+) -> WorkCosts:
+    """Per-atom / per-tile costs of the SpMV computation (Listing 3).
+
+    One atom is ``sum += values[nz] * x[indices[nz]]``: a coalesced load of
+    the value, a coalesced load of the column index, a *gather* from the
+    dense vector, and an FMA.  One tile reads its row extent and stores one
+    output element.
+
+    When ``gather_working_set_bytes`` is given (the size of the gathered
+    vector x), the paper's future-work locality model
+    (:mod:`repro.gpusim.cache`) replaces the flat pessimistic gather cost
+    with a cache-aware one: small vectors become L2-resident and gathers
+    get cheap.
+    """
+    c = spec.costs
+    if gather_working_set_bytes is None:
+        gather = c.global_load_random
+    else:
+        from ..gpusim.cache import effective_gather_cost
+
+        gather = effective_gather_cost(spec, gather_working_set_bytes)
+    return WorkCosts(
+        atom_cycles=(
+            c.global_load_coalesced  # values[nz]
+            + c.global_load_coalesced  # indices[nz]
+            + gather  # x[indices[nz]]
+            + c.fma
+        ),
+        tile_cycles=c.global_load_coalesced + c.global_store,  # extent + y[row]
+        tile_reduction=True,
+        # 8B value + 4B column index + 8B x gather; 4B offset + 8B y store.
+        atom_bytes=20.0,
+        tile_bytes=12.0,
+    )
+
+
+def check_dense_vector(x, expected_len: int, name: str = "x") -> np.ndarray:
+    """Validate and canonicalize a dense input vector."""
+    arr = np.ascontiguousarray(x, dtype=np.float64)
+    if arr.ndim != 1 or arr.size != expected_len:
+        raise ValueError(
+            f"{name} must be a one-dimensional vector of length {expected_len}, "
+            f"got shape {np.shape(x)}"
+        )
+    return arr

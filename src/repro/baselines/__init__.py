@@ -1,0 +1,25 @@
+"""``repro.baselines`` -- the evaluation's comparators.
+
+* :func:`cub_spmv` -- hardwired merge-path SpMV in the style of CUB's
+  ``DeviceSpmv`` (Figure 2's baseline), bypassing the abstraction.
+* :func:`cusparse_spmv` -- behavioural model of the closed-source vendor
+  library (Figures 3 and 4's baseline).
+* :func:`dense_spmv_oracle` -- scheduling-free ground truth.
+"""
+
+from .cub_spmv import CUB_ITEMS_PER_THREAD, cub_spmv
+from .cusparse_spmv import (
+    CUSPARSE_ANALYSIS_CYCLES,
+    VECTOR_DISPATCH_MEAN_NNZ,
+    cusparse_spmv,
+)
+from .reference import dense_spmv_oracle
+
+__all__ = [
+    "CUB_ITEMS_PER_THREAD",
+    "cub_spmv",
+    "CUSPARSE_ANALYSIS_CYCLES",
+    "VECTOR_DISPATCH_MEAN_NNZ",
+    "cusparse_spmv",
+    "dense_spmv_oracle",
+]

@@ -1,0 +1,19 @@
+"""Correctness oracles shared by baselines and tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+
+__all__ = ["dense_spmv_oracle"]
+
+
+def dense_spmv_oracle(matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
+    """SpMV without any scheduling: the ground-truth ``y = A @ x``."""
+    y = np.zeros(matrix.num_rows)
+    row_ids = np.repeat(
+        np.arange(matrix.num_rows, dtype=np.int64), matrix.row_lengths()
+    )
+    np.add.at(y, row_ids, matrix.values * x[matrix.col_indices])
+    return y

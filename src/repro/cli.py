@@ -1,0 +1,172 @@
+"""Command-line interface mirroring the artifact's binaries and run.sh.
+
+The original artifact ships per-schedule binaries
+(``bin/loops.spmv.merge_path -m matrix.mtx --validate``) and a sweep
+script producing ``kernel,dataset,rows,cols,nnzs,elapsed`` CSVs.  This
+CLI reproduces both entry points::
+
+    python -m repro spmv --dataset power_a19 --schedule merge_path --validate
+    python -m repro spmv -m datasets/chesapeake.mtx --schedule merge_path --validate
+    python -m repro sweep --kernels merge_path cub cusparse --scale smoke -o out.csv
+    python -m repro datasets
+    python -m repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Programming Model for GPU Load Balancing'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_spmv = sub.add_parser("spmv", help="run one load-balanced SpMV")
+    src = p_spmv.add_mutually_exclusive_group(required=True)
+    src.add_argument("-m", "--mtx", type=Path, help="MatrixMarket input file")
+    src.add_argument("--dataset", help="corpus dataset name")
+    p_spmv.add_argument("--scale", default="standard", help="corpus scale")
+    p_spmv.add_argument(
+        "--schedule",
+        default="merge_path",
+        help="schedule name or 'heuristic' (default: merge_path)",
+    )
+    p_spmv.add_argument("--spec", default="V100", help="GPU preset name")
+    p_spmv.add_argument(
+        "--validate", action="store_true", help="check against the oracle"
+    )
+    p_spmv.add_argument("--seed", type=int, default=0, help="seed for x")
+
+    p_sweep = sub.add_parser("sweep", help="run the harness over the corpus")
+    p_sweep.add_argument(
+        "--kernels",
+        nargs="+",
+        default=["merge_path", "thread_mapped", "group_mapped", "cub", "cusparse"],
+    )
+    p_sweep.add_argument("--scale", default="standard")
+    p_sweep.add_argument("--limit", type=int, default=None,
+                         help="run only the first N datasets (like run.sh)")
+    p_sweep.add_argument("-o", "--output", type=Path, default=None,
+                         help="CSV output path (default: stdout)")
+    p_sweep.add_argument("--spec", default="V100")
+
+    p_ds = sub.add_parser("datasets", help="list the corpus")
+    p_ds.add_argument("--scale", default="standard")
+
+    sub.add_parser("table1", help="print the Table 1 LoC comparison")
+
+    sub.add_parser("schedules", help="list registered schedules")
+    return parser
+
+
+def _cmd_spmv(args: argparse.Namespace) -> int:
+    from .apps.spmv import spmv
+    from .baselines.reference import dense_spmv_oracle
+    from .gpusim.arch import get_spec
+    from .sparse.convert import coo_to_csr
+    from .sparse.corpus import load_dataset
+    from .sparse.mtx_io import read_mtx
+
+    if args.mtx is not None:
+        matrix = coo_to_csr(read_mtx(args.mtx))
+        name = args.mtx.name
+    else:
+        ds = load_dataset(args.dataset, args.scale)
+        matrix, name = ds.matrix, ds.name
+
+    x = np.random.default_rng(args.seed).uniform(size=matrix.num_cols)
+    result = spmv(matrix, x, schedule=args.schedule, spec=get_spec(args.spec))
+
+    print(f"Elapsed (ms): {result.elapsed_ms:.6f}")
+    print(f"Matrix: {name}")
+    print(f"Dimensions: {matrix.num_rows} x {matrix.num_cols} ({matrix.nnz})")
+    print(f"Schedule: {result.schedule}")
+    if args.validate:
+        errors = int(
+            np.sum(~np.isclose(result.output, dense_spmv_oracle(matrix, x)))
+        )
+        print(f"Errors: {errors}")
+        return 1 if errors else 0
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import csv as _csv
+
+    from .evaluation.harness import run_spmv_suite, write_csv
+    from .gpusim.arch import get_spec
+
+    rows = run_spmv_suite(
+        args.kernels, scale=args.scale, spec=get_spec(args.spec), limit=args.limit
+    )
+    if args.output is not None:
+        path = write_csv(rows, args.output)
+        print(f"wrote {len(rows)} rows to {path}")
+    else:
+        writer = _csv.DictWriter(
+            sys.stdout, fieldnames=["kernel", "dataset", "rows", "cols", "nnzs", "elapsed"]
+        )
+        writer.writeheader()
+        for r in rows:
+            writer.writerow(r.as_csv_dict())
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .sparse.corpus import build_corpus
+
+    print(f"{'name':<20} {'family':<9} {'rows':>8} {'cols':>8} {'nnz':>10} {'cv':>7}")
+    for d in build_corpus(args.scale):
+        print(
+            f"{d.name:<20} {d.family:<9} {d.rows:>8} {d.cols:>8} {d.nnz:>10} "
+            f"{d.meta['cv']:>7.2f}"
+        )
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    from .evaluation.loc import table1_rows
+
+    print(f"{'algorithm':<16} {'paper CUB':>10} {'paper ours':>11} "
+          f"{'measured ours':>14} {'incremental':>12}")
+    for r in table1_rows():
+        cub = str(r.paper_cub) if r.paper_cub is not None else "N/A"
+        incr = str(r.measured_incremental) if r.measured_incremental is not None else "-"
+        print(f"{r.algorithm:<16} {cub:>10} {r.paper_ours:>11} "
+              f"{r.measured_ours:>14} {incr:>12}")
+    return 0
+
+
+def _cmd_schedules(_args: argparse.Namespace) -> int:
+    from .core.schedule import available_schedules
+
+    for name in available_schedules():
+        print(name)
+    return 0
+
+
+_COMMANDS = {
+    "spmv": _cmd_spmv,
+    "sweep": _cmd_sweep,
+    "datasets": _cmd_datasets,
+    "table1": _cmd_table1,
+    "schedules": _cmd_schedules,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

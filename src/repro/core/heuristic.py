@@ -1,0 +1,59 @@
+"""Schedule-selection heuristic (Section 6.2).
+
+The paper's combined SpMV picks a schedule per matrix with a simple rule:
+
+    "we use merge-path unless either the number of rows or columns are
+     less than the threshold alpha and the nonzeros of a given matrix are
+     less than threshold beta (we choose alpha = 500 and beta = 10000 for
+     SuiteSparse).  In this case, we use thread-mapped or group-mapped
+     load balancing instead of merge-path."
+
+Within the small-matrix branch we dispatch between thread-mapped (when
+rows are near-uniformly tiny -- e.g. sparse vectors, where per-thread
+scheduling has zero overhead) and group-mapped (when small rows are
+uneven enough that lockstep skew would bite), mirroring how Figure 3's
+regimes separate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sparse.csr import CsrMatrix
+
+__all__ = ["HeuristicParams", "select_schedule", "DEFAULT_HEURISTIC"]
+
+
+@dataclass(frozen=True)
+class HeuristicParams:
+    """Thresholds of the Section 6.2 selector."""
+
+    alpha: int = 500  # row/column threshold
+    beta: int = 10000  # nnz threshold
+    #: Mean atoms-per-tile below which the small-matrix branch prefers the
+    #: zero-overhead thread-mapped schedule over group-mapped.
+    uniform_mean_cutoff: float = 4.0
+    #: Degree coefficient-of-variation above which even small matrices are
+    #: considered skewed enough for group-mapped.
+    uniform_cv_cutoff: float = 0.5
+
+
+DEFAULT_HEURISTIC = HeuristicParams()
+
+
+def select_schedule(
+    matrix: CsrMatrix, params: HeuristicParams = DEFAULT_HEURISTIC
+) -> str:
+    """Choose a schedule name for one matrix, per the paper's heuristic."""
+    rows, cols = matrix.shape
+    nnz = matrix.nnz
+    small_shape = rows < params.alpha or cols < params.alpha
+    if not (small_shape and nnz < params.beta):
+        return "merge_path"
+    stats = matrix.degree_stats()
+    if (
+        stats["mean"] <= params.uniform_mean_cutoff
+        and stats["cv"] <= params.uniform_cv_cutoff
+    ) or cols == 1:
+        return "thread_mapped"
+    return "group_mapped"

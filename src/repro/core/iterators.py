@@ -1,0 +1,134 @@
+"""Iterator vocabulary: the first stage of the abstraction (Section 4.1).
+
+The framework requires three iterators from the user -- over work atoms,
+over work tiles, and over the number of atoms in each tile (Listing 1).
+These mirror the C++ fancy iterators the paper builds on:
+
+* :class:`CountingIterator` -- ``counting_iterator<int>(first)``;
+* :class:`TransformIterator` -- ``make_transform_iterator(it, f)``;
+* :class:`ConstantIterator`, :class:`ArrayIterator`, :class:`ZipIterator`.
+
+Each iterator supports scalar indexing (the per-thread SIMT path) *and*
+vectorized gathers with NumPy index arrays (the corpus-scale path); both
+views are tested for agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CountingIterator",
+    "TransformIterator",
+    "ConstantIterator",
+    "ArrayIterator",
+    "ZipIterator",
+    "counting_iterator",
+    "make_transform_iterator",
+]
+
+
+class CountingIterator:
+    """An iterator over the sequence ``first, first+1, first+2, ...``."""
+
+    __slots__ = ("first",)
+
+    def __init__(self, first: int = 0):
+        self.first = int(first)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            raise TypeError("CountingIterator is unbounded; index with ints/arrays")
+        if isinstance(i, np.ndarray):
+            return i.astype(np.int64) + self.first
+        return self.first + int(i)
+
+    def __add__(self, offset: int) -> "CountingIterator":
+        return CountingIterator(self.first + int(offset))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CountingIterator(first={self.first})"
+
+
+class TransformIterator:
+    """Applies ``func`` to the values of a base iterator on dereference.
+
+    ``func`` must be NumPy-vectorizable (operate elementwise on arrays) for
+    the vectorized path; scalar indexing always works.
+    """
+
+    __slots__ = ("base", "func")
+
+    def __init__(self, base, func: Callable):
+        self.base = base
+        self.func = func
+
+    def __getitem__(self, i):
+        return self.func(self.base[i])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TransformIterator({self.base!r})"
+
+
+class ConstantIterator:
+    """Every dereference yields the same value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __getitem__(self, i):
+        if isinstance(i, np.ndarray):
+            return np.full(i.shape, self.value)
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantIterator({self.value!r})"
+
+
+class ArrayIterator:
+    """Wraps a NumPy array as an iterator (plain pointer semantics)."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array):
+        self.array = np.asarray(array)
+
+    def __getitem__(self, i):
+        return self.array[i]
+
+    def __len__(self) -> int:
+        return int(self.array.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArrayIterator(len={len(self)})"
+
+
+class ZipIterator:
+    """Dereferences to a tuple of the component iterators' values."""
+
+    __slots__ = ("iterators",)
+
+    def __init__(self, *iterators):
+        if not iterators:
+            raise ValueError("ZipIterator needs at least one component")
+        self.iterators = iterators
+
+    def __getitem__(self, i):
+        return tuple(it[i] for it in self.iterators)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ZipIterator(arity={len(self.iterators)})"
+
+
+def counting_iterator(first: int = 0) -> CountingIterator:
+    """Factory matching the paper's ``counting_iterator<int>(first)``."""
+    return CountingIterator(first)
+
+
+def make_transform_iterator(base, func: Callable) -> TransformIterator:
+    """Factory matching the paper's ``make_transform_iterator`` (Listing 1)."""
+    return TransformIterator(base, func)

@@ -1,0 +1,76 @@
+"""Load-imbalance metrics.
+
+Quantifies the imbalance a workload *presents* (tile-size statistics) and
+the imbalance a schedule *leaves behind* (per-warp cycle statistics).
+These feed the ablation benches and the harness's diagnostic columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ImbalanceReport", "imbalance_report", "gini", "peak_to_mean"]
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative distribution (0 = perfectly even)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0:
+        return 0.0
+    if np.any(v < 0):
+        raise ValueError("gini requires non-negative values")
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    n = v.size
+    # Standard closed form over sorted values.
+    index = np.arange(1, n + 1)
+    return float((2 * (index * v).sum() - (n + 1) * total) / (n * total))
+
+
+def peak_to_mean(values: np.ndarray) -> float:
+    """Max/mean ratio -- the simplest straggler indicator."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return 1.0
+    mean = v.mean()
+    if mean == 0:
+        return 1.0
+    return float(v.max() / mean)
+
+
+@dataclass(frozen=True)
+class ImbalanceReport:
+    """Summary statistics of a work (or cycle) distribution."""
+
+    count: int
+    mean: float
+    std: float
+    cv: float
+    gini: float
+    peak_to_mean: float
+    zero_fraction: float
+
+    def is_balanced(self, cv_threshold: float = 0.1) -> bool:
+        return self.cv <= cv_threshold
+
+
+def imbalance_report(values: np.ndarray) -> ImbalanceReport:
+    """Compute an :class:`ImbalanceReport` for any non-negative distribution
+    (atoms per tile, cycles per warp, atoms per thread, ...)."""
+    v = np.asarray(values, dtype=np.float64).reshape(-1)
+    if v.size == 0:
+        return ImbalanceReport(0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0)
+    mean = float(v.mean())
+    std = float(v.std())
+    return ImbalanceReport(
+        count=int(v.size),
+        mean=mean,
+        std=std,
+        cv=std / mean if mean > 0 else 0.0,
+        gini=gini(v),
+        peak_to_mean=peak_to_mean(v),
+        zero_fraction=float((v == 0).mean()),
+    )

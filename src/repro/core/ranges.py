@@ -1,0 +1,145 @@
+"""CUDA-enabled ranges (Section 5.1).
+
+The framework's schedules hand work to user kernels as *ranges* consumed by
+range-based for loops.  The paper exposes three specialized ranges, all
+reproduced here:
+
+* :func:`step_range` -- ``begin`` to ``end`` in steps of ``step``;
+* :func:`infinite_range` -- ``begin`` to infinity (persistent kernels);
+* :func:`grid_stride_range` -- step by the launch's grid size, with
+  ``block_stride_range`` and ``warp_stride_range`` variants.
+
+Ranges are lightweight iterables; they also expose :meth:`StepRange.to_array`
+for the vectorized executors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "StepRange",
+    "InfiniteRange",
+    "step_range",
+    "infinite_range",
+    "grid_stride_range",
+    "block_stride_range",
+    "warp_stride_range",
+]
+
+
+class StepRange:
+    """A half-open integer range ``[begin, end)`` with stride ``step``."""
+
+    __slots__ = ("begin", "end", "step_size")
+
+    def __init__(self, begin: int, end: int, step: int = 1):
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        self.begin = int(begin)
+        self.end = int(end)
+        self.step_size = int(step)
+
+    def step(self, step: int) -> "StepRange":
+        """Fluent stride setter, mirroring ``range(b, e).step(s)`` (Listing 2)."""
+        return StepRange(self.begin, self.end, step)
+
+    # Alias used in Listing 4 of the paper.
+    stride = step
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.begin, self.end, self.step_size))
+
+    def __len__(self) -> int:
+        if self.end <= self.begin:
+            return 0
+        return -(-(self.end - self.begin) // self.step_size)
+
+    def __contains__(self, value: int) -> bool:
+        return (
+            self.begin <= value < self.end
+            and (value - self.begin) % self.step_size == 0
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, StepRange):
+            return NotImplemented
+        return (
+            (self.begin, self.end, self.step_size)
+            == (other.begin, other.end, other.step_size)
+        ) or (len(self) == 0 and len(other) == 0)
+
+    def __hash__(self) -> int:
+        if len(self) == 0:
+            return hash(())
+        return hash((self.begin, self.end, self.step_size))
+
+    def to_array(self) -> np.ndarray:
+        """Vectorized view of the range's values."""
+        return np.arange(self.begin, self.end, self.step_size, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StepRange({self.begin}, {self.end}, step={self.step_size})"
+
+
+class InfiniteRange:
+    """An unbounded range for persistent-kernel style loops.
+
+    The consumer must break out explicitly (e.g. when a work queue is
+    drained or an algorithm converges), exactly as a persistent CUDA
+    kernel would.
+    """
+
+    __slots__ = ("begin", "step_size")
+
+    def __init__(self, begin: int = 0, step: int = 1):
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        self.begin = int(begin)
+        self.step_size = int(step)
+
+    def __iter__(self) -> Iterator[int]:
+        value = self.begin
+        while True:
+            yield value
+            value += self.step_size
+
+    def take(self, n: int) -> StepRange:
+        """First ``n`` values as a bounded range (mainly for tests)."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return StepRange(self.begin, self.begin + n * self.step_size, self.step_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InfiniteRange({self.begin}, step={self.step_size})"
+
+
+def step_range(begin: int, end: int, step: int = 1) -> StepRange:
+    """A range from ``begin`` to ``end`` in steps of ``step``."""
+    return StepRange(begin, end, step)
+
+
+def infinite_range(begin: int = 0, step: int = 1) -> InfiniteRange:
+    """A range from ``begin`` to infinity (persistent kernel mode)."""
+    return InfiniteRange(begin, step)
+
+
+def grid_stride_range(ctx, begin: int, end: int) -> StepRange:
+    """Per-thread range striding by the launch's total thread count.
+
+    ``ctx`` is a :class:`~repro.gpusim.simt.ThreadCtx`; thread ``i`` visits
+    ``begin + i, begin + i + num_threads, ...``.
+    """
+    return StepRange(begin + ctx.global_thread_id, end, ctx.num_threads)
+
+
+def block_stride_range(ctx, begin: int, end: int) -> StepRange:
+    """Per-thread range striding by the block size (intra-block split)."""
+    return StepRange(begin + ctx.thread_idx, end, ctx.block_dim)
+
+
+def warp_stride_range(ctx, begin: int, end: int) -> StepRange:
+    """Per-thread range striding by the warp size (intra-warp split)."""
+    return StepRange(begin + ctx.lane_id, end, ctx.warp_size)

@@ -1,0 +1,37 @@
+"""Built-in load-balancing schedules.
+
+Importing this package registers every schedule with the global registry
+(:func:`repro.core.schedule.make_schedule` resolves them by name):
+
+====================  =====================================================
+``thread_mapped``     tile per thread (Listing 2)
+``warp_mapped``       tile per warp, atoms lane-parallel
+``block_mapped``      tile per block, atoms lane-parallel
+``group_mapped``      tile chunk per cooperative group + prefix-sum (novel)
+``merge_path``        even tiles+atoms split via 2-D binary search
+``nonzero_split``     even atom split (ModernGPU-style; related work)
+``lrb``               logarithmic radix binning (extension)
+``dynamic_queue``     persistent kernel + atomic work queue (dynamic)
+====================  =====================================================
+"""
+
+from .dynamic_queue import DynamicQueueSchedule
+from .group_mapped import GroupMappedSchedule
+from .lrb import LrbSchedule, lrb_bins
+from .merge_path import MergePathSchedule, merge_path_partition
+from .nonzero_split import NonzeroSplitSchedule
+from .thread_mapped import ThreadMappedSchedule
+from .warp_block import BlockMappedSchedule, WarpMappedSchedule
+
+__all__ = [
+    "DynamicQueueSchedule",
+    "GroupMappedSchedule",
+    "LrbSchedule",
+    "lrb_bins",
+    "MergePathSchedule",
+    "merge_path_partition",
+    "NonzeroSplitSchedule",
+    "ThreadMappedSchedule",
+    "BlockMappedSchedule",
+    "WarpMappedSchedule",
+]

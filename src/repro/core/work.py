@@ -1,0 +1,183 @@
+"""Work definition: atoms, tiles and tile sets (Section 3.1).
+
+A :class:`WorkSpec` is the framework's common vocabulary for irregular
+work.  It captures:
+
+* **work atoms** -- the schedulable unit (a nonzero, an edge), all assumed
+  equal-cost;
+* **work tiles** -- logical groupings of atoms (a row, a vertex's edge
+  list) with *unequal* costs;
+* the **tile set** -- the whole problem, with independent tiles.
+
+Every sparse format maps onto a WorkSpec through three iterators (atoms,
+tiles, atoms-per-tile) plus two counts, exactly the inputs Listing 2's
+schedule constructor takes.  Internally the canonical representation is
+the ``tile_offsets`` exclusive prefix array (for CSR this *is* the row
+offsets array -- zero-cost), from which the iterators are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sparse.convert import offsets_from_counts
+from ..sparse.coo import CooMatrix
+from ..sparse.csc import CscMatrix
+from ..sparse.csr import CsrMatrix
+from .iterators import CountingIterator, TransformIterator
+
+__all__ = ["WorkSpec"]
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """An irregular workload expressed as atoms / tiles / tile set."""
+
+    tile_offsets: np.ndarray  # (num_tiles + 1,) int64 exclusive prefix sum
+    num_atoms: int
+    num_tiles: int
+    #: Optional descriptive label (dataset name) carried into reports.
+    label: str = field(default="", compare=False)
+
+    # ------------------------------------------------------------------
+    # Constructors from sparse formats (the user-defined mapping of
+    # Section 3.1; these cover the formats the library ships built-in).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_counts(atoms_per_tile, label: str = "") -> "WorkSpec":
+        counts = np.asarray(atoms_per_tile, dtype=np.int64)
+        if counts.ndim != 1:
+            raise ValueError("atoms_per_tile must be one-dimensional")
+        if counts.size and counts.min() < 0:
+            raise ValueError("atom counts must be non-negative")
+        offsets = offsets_from_counts(counts)
+        return WorkSpec(
+            tile_offsets=offsets,
+            num_atoms=int(offsets[-1]),
+            num_tiles=int(counts.size),
+            label=label,
+        )
+
+    @staticmethod
+    def from_offsets(tile_offsets, label: str = "") -> "WorkSpec":
+        offsets = np.ascontiguousarray(tile_offsets, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size < 1:
+            raise ValueError("tile_offsets must be a 1-D array of length >= 1")
+        if offsets[0] != 0 or np.any(np.diff(offsets) < 0):
+            raise ValueError("tile_offsets must start at 0 and be non-decreasing")
+        return WorkSpec(
+            tile_offsets=offsets,
+            num_atoms=int(offsets[-1]),
+            num_tiles=int(offsets.size - 1),
+            label=label,
+        )
+
+    @staticmethod
+    def from_iterators(
+        atoms_iter,
+        tiles_iter,
+        atoms_per_tile_iter,
+        num_atoms: int,
+        num_tiles: int,
+        label: str = "",
+    ) -> "WorkSpec":
+        """The Listing 2 constructor: three iterators plus two counts.
+
+        This is the fully general entry point for *user-defined* formats
+        (Section 3.1): any object indexable by tile id works as the
+        atoms-per-tile iterator.  The counts are materialized once into
+        the canonical offsets array; ``atoms_iter`` and ``tiles_iter``
+        define the id spaces and must enumerate ``0..num_atoms`` and
+        ``0..num_tiles`` (checked at their endpoints).
+        """
+        if num_atoms < 0 or num_tiles < 0:
+            raise ValueError("counts must be non-negative")
+        if num_atoms > 0 and atoms_iter[0] != 0:
+            raise ValueError("atoms_iter must enumerate atom ids from 0")
+        if num_tiles > 0 and tiles_iter[0] != 0:
+            raise ValueError("tiles_iter must enumerate tile ids from 0")
+        ids = np.arange(num_tiles, dtype=np.int64)
+        try:  # vectorized gather when the iterator supports it
+            counts = np.asarray(atoms_per_tile_iter[ids], dtype=np.int64)
+        except (TypeError, IndexError, ValueError):
+            counts = np.fromiter(
+                (atoms_per_tile_iter[int(i)] for i in ids),
+                dtype=np.int64,
+                count=num_tiles,
+            )
+        spec = WorkSpec.from_counts(counts, label)
+        if spec.num_atoms != num_atoms:
+            raise ValueError(
+                f"atoms-per-tile iterator sums to {spec.num_atoms}, but "
+                f"num_atoms is {num_atoms}"
+            )
+        return spec
+
+    @staticmethod
+    def from_csr(csr: CsrMatrix, label: str = "") -> "WorkSpec":
+        """CSR rows are tiles, nonzeros are atoms (Listing 1)."""
+        return WorkSpec.from_offsets(csr.row_offsets, label)
+
+    @staticmethod
+    def from_csc(csc: CscMatrix, label: str = "") -> "WorkSpec":
+        """CSC columns are tiles, nonzeros are atoms."""
+        return WorkSpec.from_offsets(csc.col_offsets, label)
+
+    @staticmethod
+    def from_coo(coo: CooMatrix, label: str = "") -> "WorkSpec":
+        """COO rows are tiles; a row-pointer array is built by counting.
+
+        The triples must be row-sorted so that each tile's atoms are a
+        contiguous atom-id range (the invariant all schedules rely on).
+        """
+        if coo.nnz and np.any(np.diff(coo.rows) < 0):
+            raise ValueError("COO input must be sorted by row; use sorted_by_row()")
+        counts = np.bincount(coo.rows, minlength=coo.shape[0]).astype(np.int64)
+        return WorkSpec.from_counts(counts, label)
+
+    # ------------------------------------------------------------------
+    # The three iterators of the paper's input stage
+    # ------------------------------------------------------------------
+    @property
+    def atoms_iter(self) -> CountingIterator:
+        """Iterator over all work atoms (``counting_iterator(0, nnz)``)."""
+        return CountingIterator(0)
+
+    @property
+    def tiles_iter(self) -> CountingIterator:
+        """Iterator over all work tiles (``counting_iterator(0, rows)``)."""
+        return CountingIterator(0)
+
+    @property
+    def atoms_per_tile_iter(self) -> TransformIterator:
+        """Transform iterator computing ``offsets[i+1] - offsets[i]``."""
+        offsets = self.tile_offsets
+        return TransformIterator(
+            CountingIterator(0), lambda i: offsets[i + 1] - offsets[i]
+        )
+
+    # ------------------------------------------------------------------
+    # Array views used by the vectorized planners
+    # ------------------------------------------------------------------
+    def atoms_per_tile(self) -> np.ndarray:
+        return np.diff(self.tile_offsets)
+
+    def tile_of_atom(self, atom_ids) -> np.ndarray:
+        """Map atom id(s) back to their owning tile (binary search)."""
+        return (
+            np.searchsorted(self.tile_offsets, np.asarray(atom_ids), side="right") - 1
+        )
+
+    def atom_range(self, tile: int) -> tuple[int, int]:
+        """Half-open atom-id range of one tile."""
+        if not 0 <= tile < self.num_tiles:
+            raise IndexError(f"tile {tile} out of range for {self.num_tiles} tiles")
+        return int(self.tile_offsets[tile]), int(self.tile_offsets[tile + 1])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkSpec(tiles={self.num_tiles}, atoms={self.num_atoms}"
+            + (f", label={self.label!r})" if self.label else ")")
+        )

@@ -1,0 +1,38 @@
+"""``repro.evaluation`` -- the harness reproducing the paper's evaluation.
+
+* :mod:`.harness` -- (kernel x dataset) sweeps, paper-schema CSVs;
+* :mod:`.figures` -- data series + summary stats for Figures 2, 3 and 4;
+* :mod:`.loc` -- the lines-of-code measurement behind Table 1.
+"""
+
+from .figures import (
+    Fig2Result,
+    Fig3Result,
+    Fig4Result,
+    FigureSeries,
+    fig2_overhead,
+    fig3_landscape,
+    fig4_heuristic,
+)
+from .harness import SPMV_KERNELS, SpmvRow, run_spmv_kernel, run_spmv_suite, write_csv
+from .loc import PAPER_TABLE1, Table1Row, count_loc, source_loc, table1_rows
+
+__all__ = [
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "FigureSeries",
+    "fig2_overhead",
+    "fig3_landscape",
+    "fig4_heuristic",
+    "SPMV_KERNELS",
+    "SpmvRow",
+    "run_spmv_kernel",
+    "run_spmv_suite",
+    "write_csv",
+    "PAPER_TABLE1",
+    "Table1Row",
+    "count_loc",
+    "source_loc",
+    "table1_rows",
+]

@@ -1,0 +1,144 @@
+"""The experiment harness: (kernel x dataset) sweeps producing paper CSVs.
+
+Mirrors the artifact's ``run.sh``: the output schema is the paper's
+appendix sample --
+
+    kernel,dataset,rows,cols,nnzs,elapsed
+
+``elapsed`` is the simulated kernel time in model milliseconds.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..apps.spmv import spmv
+from ..baselines.cub_spmv import cub_spmv
+from ..baselines.cusparse_spmv import cusparse_spmv
+from ..gpusim.arch import GpuSpec, V100
+from ..sparse.corpus import Dataset, build_corpus
+
+__all__ = ["SpmvRow", "run_spmv_suite", "write_csv", "SPMV_KERNELS"]
+
+#: Kernel identifiers the harness understands.  Framework schedules are
+#: referenced by their registry names; ``heuristic`` is the Section 6.2
+#: selector; ``cub`` and ``cusparse`` are the baselines.
+SPMV_KERNELS = (
+    "thread_mapped",
+    "warp_mapped",
+    "block_mapped",
+    "group_mapped",
+    "merge_path",
+    "nonzero_split",
+    "lrb",
+    "heuristic",
+    "cub",
+    "cusparse",
+)
+
+
+@dataclass(frozen=True)
+class SpmvRow:
+    """One harness result cell, in the paper's CSV schema."""
+
+    kernel: str
+    dataset: str
+    rows: int
+    cols: int
+    nnzs: int
+    elapsed: float  # model milliseconds
+    #: Extra diagnostics not in the paper's schema (kept out of the CSV
+    #: unless asked for).
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def as_csv_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "dataset": self.dataset,
+            "rows": self.rows,
+            "cols": self.cols,
+            "nnzs": self.nnzs,
+            "elapsed": self.elapsed,
+        }
+
+
+def _deterministic_x(n: int, seed: int = 12345) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.5, 1.5, size=n)
+
+
+def run_spmv_kernel(
+    kernel: str, dataset: Dataset, spec: GpuSpec = V100
+) -> SpmvRow:
+    """Run one (kernel, dataset) cell and validate the result."""
+    matrix = dataset.matrix
+    x = _deterministic_x(matrix.num_cols)
+    if kernel == "cub":
+        y, stats = cub_spmv(matrix, x, spec)
+        meta = dict(stats.extras)
+    elif kernel == "cusparse":
+        y, stats = cusparse_spmv(matrix, x, spec)
+        meta = dict(stats.extras)
+    elif kernel in SPMV_KERNELS:
+        result = spmv(matrix, x, schedule=kernel, spec=spec)
+        y, stats = result.output, result.stats
+        meta = {"schedule": result.schedule}
+    else:
+        raise KeyError(f"unknown kernel {kernel!r}; known: {SPMV_KERNELS}")
+    # The artifact's --validate flag: every cell checks its output.
+    from ..baselines.reference import dense_spmv_oracle
+
+    expected = dense_spmv_oracle(matrix, x)
+    if not np.allclose(y, expected, rtol=1e-9, atol=1e-12):
+        raise AssertionError(
+            f"validation failed for kernel={kernel} dataset={dataset.name}"
+        )
+    meta.update(
+        simt_efficiency=stats.simt_efficiency,
+        occupancy=stats.occupancy,
+        utilization=stats.utilization,
+    )
+    return SpmvRow(
+        kernel=kernel,
+        dataset=dataset.name,
+        rows=matrix.num_rows,
+        cols=matrix.num_cols,
+        nnzs=matrix.nnz,
+        elapsed=stats.elapsed_ms,
+        meta=meta,
+    )
+
+
+def run_spmv_suite(
+    kernels: Sequence[str],
+    *,
+    scale: str = "standard",
+    spec: GpuSpec = V100,
+    datasets: Iterable[Dataset] | None = None,
+    limit: int | None = None,
+) -> list[SpmvRow]:
+    """Run a kernel list over the corpus (the ``run.sh`` loop)."""
+    ds = list(datasets) if datasets is not None else build_corpus(scale, limit=limit)
+    rows: list[SpmvRow] = []
+    for dataset in ds:
+        for kernel in kernels:
+            rows.append(run_spmv_kernel(kernel, dataset, spec))
+    return rows
+
+
+def write_csv(rows: Iterable[SpmvRow], path: str | Path) -> Path:
+    """Write harness rows in the paper's CSV schema."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(
+            fh, fieldnames=["kernel", "dataset", "rows", "cols", "nnzs", "elapsed"]
+        )
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row.as_csv_dict())
+    return path

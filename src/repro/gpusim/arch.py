@@ -1,0 +1,209 @@
+"""GPU architecture specifications for the simulator.
+
+The simulator is parameterized by a :class:`GpuSpec`, which captures the
+handful of architectural quantities that matter for load-balancing studies:
+the SIMT width (warp size), the streaming-multiprocessor (SM) count and
+residency limits (which drive the oversubscription model), the issue width
+of an SM, and a small set of cost constants for the analytic timing model.
+
+The default spec, :data:`V100`, approximates the NVIDIA Tesla V100 used in
+the paper's evaluation.  :data:`AMD_WARP64` demonstrates the paper's point
+(Section 5.2.3) that a cooperative-groups-style schedule ports to a
+64-wide-wavefront architecture by changing a single constant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Cycle-cost constants used by the analytic timing model.
+
+    All values are in units of SM cycles.  They are deliberately coarse --
+    the simulator's purpose is to reproduce *relative* behaviour between
+    load-balancing schedules (who wins, where the crossovers are), not
+    absolute hardware milliseconds.
+
+    Attributes
+    ----------
+    alu:
+        Cost of a simple arithmetic instruction (integer add, compare).
+    fma:
+        Cost of a fused multiply-add on the balanced work path (the
+        ``sum += values[nz] * x[indices[nz]]`` of SpMV).
+    global_load_coalesced:
+        Amortized per-lane cost of a fully coalesced global memory load.
+    global_load_random:
+        Per-lane cost of an uncoalesced (gather) global load, e.g. the
+        ``x[indices[nz]]`` gather in SpMV.
+    global_store:
+        Per-lane cost of a global store.
+    shared_load / shared_store:
+        Per-lane shared-memory (scratchpad) access cost.
+    atomic:
+        Cost of a global atomic operation (e.g. atomicMin in SSSP).
+    sync:
+        Cost of a block-wide barrier (``__syncthreads``).
+    loop_overhead:
+        Per-iteration loop bookkeeping (increment, compare, branch).
+    range_overhead:
+        *Abstraction tax*: extra per-iteration bookkeeping charged when work
+        is consumed through the framework's range objects rather than a
+        hand-fused loop.  This is the quantity Figure 2 measures; the paper
+        reports a 2.5% geomean slowdown versus hardwired CUB.
+    tile_overhead:
+        Per-tile setup cost (reading row extents, writing the output).
+    binary_search_step:
+        Cost of one step of a binary search (used by merge-path setup and
+        group-mapped ``get_tile``).
+    scan_step:
+        Cost of one step of a group-wide prefix-sum.
+    kernel_launch_cycles:
+        Fixed front-end cost of launching a kernel.
+    """
+
+    alu: float = 1.0
+    fma: float = 2.0
+    global_load_coalesced: float = 4.0
+    global_load_random: float = 24.0
+    global_store: float = 4.0
+    shared_load: float = 1.0
+    shared_store: float = 1.0
+    atomic: float = 16.0
+    sync: float = 8.0
+    loop_overhead: float = 2.0
+    range_overhead: float = 1.2
+    tile_overhead: float = 10.0
+    binary_search_step: float = 6.0
+    scan_step: float = 4.0
+    kernel_launch_cycles: float = 4000.0
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A simulated GPU.
+
+    Attributes mirror the CUDA occupancy vocabulary.  ``warp_size`` is the
+    SIMT width; lanes of a warp execute in lockstep, so a warp's loop trip
+    count is the *max* over its lanes -- the fundamental mechanism behind
+    the load-imbalance problem this paper addresses.
+    """
+
+    name: str = "V100"
+    num_sms: int = 80
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_resident_warps_per_sm: int = 64
+    max_resident_blocks_per_sm: int = 32
+    warp_schedulers_per_sm: int = 4
+    shared_mem_per_block: int = 48 * 1024  # bytes
+    clock_ghz: float = 1.38
+    #: Sustained DRAM bandwidth in bytes per core cycle (V100: ~900 GB/s
+    #: at 1.38 GHz).  Bandwidth-bound kernels like SpMV cannot finish
+    #: faster than total_bytes / this -- the mechanism that makes all
+    #: well-balanced schedules converge on large regular inputs.
+    dram_bytes_per_cycle: float = 650.0
+    costs: CostParams = field(default_factory=CostParams)
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise ValueError(f"warp_size must be a positive power of two, got {self.warp_size}")
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.max_threads_per_block % self.warp_size:
+            raise ValueError("max_threads_per_block must be a multiple of warp_size")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def max_resident_threads_per_sm(self) -> int:
+        return self.max_resident_warps_per_sm * self.warp_size
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Device-wide number of concurrently resident threads."""
+        return self.max_resident_threads_per_sm * self.num_sms
+
+    def warps_per_block(self, block_dim: int) -> int:
+        return -(-block_dim // self.warp_size)
+
+    def resident_blocks_per_sm(self, block_dim: int) -> int:
+        """How many blocks of ``block_dim`` threads fit on one SM."""
+        if block_dim <= 0:
+            raise ValueError("block_dim must be positive")
+        if block_dim > self.max_threads_per_block:
+            raise ValueError(
+                f"block_dim {block_dim} exceeds max_threads_per_block "
+                f"{self.max_threads_per_block}"
+            )
+        by_warps = self.max_resident_warps_per_sm // self.warps_per_block(block_dim)
+        return max(1, min(self.max_resident_blocks_per_sm, by_warps))
+
+    def occupancy(self, grid_dim: int, block_dim: int) -> float:
+        """Fraction of device-wide resident-thread capacity a launch fills."""
+        resident = min(
+            grid_dim,
+            self.resident_blocks_per_sm(block_dim) * self.num_sms,
+        )
+        return min(1.0, (resident * block_dim) / self.max_resident_threads)
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9) * 1e3
+
+    def ms_to_cycles(self, ms: float) -> float:
+        return ms * (self.clock_ghz * 1e9) / 1e3
+
+    def with_costs(self, **updates: float) -> "GpuSpec":
+        """Return a copy of this spec with some cost constants replaced."""
+        return dataclasses.replace(self, costs=dataclasses.replace(self.costs, **updates))
+
+
+#: NVIDIA Tesla V100 (Volta), the GPU used in the paper's evaluation.
+V100 = GpuSpec()
+
+#: NVIDIA A100 (Ampere) -- more SMs, same warp size.
+A100 = GpuSpec(name="A100", num_sms=108, clock_ghz=1.41)
+
+#: An AMD-style architecture with 64-wide wavefronts (HIP ``warpSize == 64``).
+#: The group-mapped schedule targets this by changing one compile-time
+#: constant (paper, Section 5.2.3).
+AMD_WARP64 = GpuSpec(
+    name="AMD-WARP64",
+    num_sms=60,
+    warp_size=64,
+    max_resident_warps_per_sm=32,
+    clock_ghz=1.50,
+)
+
+#: A deliberately tiny GPU used by tests and the SIMT interpreter, so that
+#: interpreted launches exercise multi-wave scheduling with few threads.
+TINY_GPU = GpuSpec(
+    name="TINY",
+    num_sms=2,
+    warp_size=4,
+    max_threads_per_block=64,
+    max_resident_warps_per_sm=8,
+    max_resident_blocks_per_sm=4,
+    warp_schedulers_per_sm=2,
+    clock_ghz=1.0,
+    dram_bytes_per_cycle=16.0,
+)
+
+PRESETS: dict[str, GpuSpec] = {
+    "V100": V100,
+    "A100": A100,
+    "AMD-WARP64": AMD_WARP64,
+    "TINY": TINY_GPU,
+}
+
+
+def get_spec(name: str) -> GpuSpec:
+    """Look up a preset :class:`GpuSpec` by name (case-insensitive)."""
+    key = name.upper()
+    if key not in PRESETS:
+        raise KeyError(f"unknown GPU preset {name!r}; available: {sorted(PRESETS)}")
+    return PRESETS[key]

@@ -1,0 +1,81 @@
+"""A locality model for gathered operands (the paper's future work).
+
+Section 8: "we also identify locality to be another key factor for high
+performance.  We are interested in identifying an orthogonal model that
+builds an abstraction for caching and locality into our existing
+load-balancing framework."
+
+This module supplies that orthogonal model for the dominant locality
+effect in the reproduced workloads: the gathered operand of SpMV-like
+kernels (``x[indices[nz]]``).  When the gathered vector fits in the L2
+cache, "random" gathers are mostly hits and cost close to a coalesced
+load; when the working set exceeds L2, gathers degrade toward DRAM
+latency.  The model estimates a hit rate from the working-set-to-cache
+ratio with a smooth transition, and exposes an *effective* gather cost
+that applications can feed into their :class:`WorkCosts` instead of the
+flat pessimistic constant.
+
+The model is deliberately orthogonal: it changes only the per-atom cost,
+never the assignment -- schedules remain locality-agnostic, exactly the
+separation the paper advocates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arch import GpuSpec
+
+__all__ = ["CacheModel", "L2_V100_BYTES", "gather_hit_rate", "effective_gather_cost"]
+
+#: V100 L2 capacity.
+L2_V100_BYTES = 6 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """An L2-style cache with a capacity and hit/miss gather costs."""
+
+    capacity_bytes: int = L2_V100_BYTES
+    #: Cost of a gather that hits in cache (near a coalesced load).
+    hit_cycles: float = 6.0
+    #: Cost of a gather that misses to DRAM.
+    miss_cycles: float = 24.0
+
+    def hit_rate(self, working_set_bytes: float) -> float:
+        return gather_hit_rate(working_set_bytes, self.capacity_bytes)
+
+    def gather_cycles(self, working_set_bytes: float) -> float:
+        """Expected per-gather cost for a uniformly accessed working set."""
+        h = self.hit_rate(working_set_bytes)
+        return h * self.hit_cycles + (1.0 - h) * self.miss_cycles
+
+
+def gather_hit_rate(working_set_bytes: float, capacity_bytes: float) -> float:
+    """Expected hit rate for uniform random gathers into a working set.
+
+    A working set within capacity is fully resident (hit rate ~1); beyond
+    capacity, a uniform-access LRU cache holds ``capacity / working_set``
+    of the lines, which is also the hit probability of the next gather.
+    """
+    if working_set_bytes < 0 or capacity_bytes <= 0:
+        raise ValueError("sizes must be positive")
+    if working_set_bytes <= capacity_bytes:
+        return 1.0
+    return capacity_bytes / working_set_bytes
+
+
+def effective_gather_cost(
+    spec: GpuSpec, working_set_bytes: float, cache: CacheModel | None = None
+) -> float:
+    """Per-gather cycle cost under the locality model.
+
+    Defaults the hit/miss extremes to the spec's coalesced/random load
+    constants, so a cache-oblivious caller gets back exactly the old
+    pessimistic behaviour in the limit of huge working sets.
+    """
+    model = cache or CacheModel(
+        hit_cycles=spec.costs.global_load_coalesced * 1.5,
+        miss_cycles=spec.costs.global_load_random,
+    )
+    return model.gather_cycles(working_set_bytes)

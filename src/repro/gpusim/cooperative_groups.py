@@ -1,0 +1,128 @@
+"""A model of CUDA's Cooperative Groups (CG) programming model.
+
+The paper's novel *group-mapped* schedule (Section 5.2.3) is built on CG:
+a thread block is partitioned into programmer-sized groups ("tiled
+partitions"), and each group cooperates through group-wide synchronization
+and collectives (reduce, scan).  Choosing the group size equal to the warp
+or block size recovers the classical warp- and block-mapped schedules "for
+free"; choosing 64 targets AMD-style wavefronts with a one-line change.
+
+This module models groups at the *array level*: a group is a contiguous
+span of lane slots, and collectives operate on a NumPy vector holding one
+value per lane.  The SIMT interpreter uses the same objects, with lanes
+contributing their values through shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import collectives
+from .arch import GpuSpec
+
+__all__ = ["ThreadGroup", "tiled_partition", "valid_group_size"]
+
+
+def valid_group_size(group_size: int, block_dim: int) -> bool:
+    """CG tiled partitions must evenly divide the parent block."""
+    return 0 < group_size <= block_dim and block_dim % group_size == 0
+
+
+@dataclass(frozen=True)
+class ThreadGroup:
+    """A cooperative group: ``size`` consecutive lanes of a block.
+
+    ``group_index`` identifies the group within its block; ``block_dim``
+    is the parent block size.
+    """
+
+    size: int
+    group_index: int
+    block_dim: int
+
+    def __post_init__(self) -> None:
+        if not valid_group_size(self.size, self.block_dim):
+            raise ValueError(
+                f"group size {self.size} does not tile block of {self.block_dim}"
+            )
+        if not 0 <= self.group_index < self.block_dim // self.size:
+            raise ValueError(f"group_index {self.group_index} out of range")
+
+    # ------------------------------------------------------------------
+    # Identity helpers (mirror cg::thread_block_tile)
+    # ------------------------------------------------------------------
+    @property
+    def groups_per_block(self) -> int:
+        return self.block_dim // self.size
+
+    def thread_rank(self, thread_idx: int) -> int:
+        """Rank of a block-local thread within this group."""
+        rank = thread_idx - self.group_index * self.size
+        if not 0 <= rank < self.size:
+            raise ValueError(
+                f"thread {thread_idx} is not a member of group {self.group_index}"
+            )
+        return rank
+
+    def contains(self, thread_idx: int) -> bool:
+        return self.group_index == thread_idx // self.size
+
+    def lane_slice(self) -> slice:
+        """Block-local slice of the lanes belonging to this group."""
+        lo = self.group_index * self.size
+        return slice(lo, lo + self.size)
+
+    # ------------------------------------------------------------------
+    # Collectives (array-level: one value per lane)
+    # ------------------------------------------------------------------
+    def _check(self, values: np.ndarray) -> np.ndarray:
+        v = np.asarray(values)
+        if v.shape[0] != self.size:
+            raise ValueError(
+                f"collective input has {v.shape[0]} lanes; group size is {self.size}"
+            )
+        return v
+
+    def reduce(self, values: np.ndarray, op: str = "add"):
+        return collectives.reduce(self._check(values), op)
+
+    def inclusive_scan(self, values: np.ndarray, op: str = "add") -> np.ndarray:
+        return collectives.inclusive_scan(self._check(values), op)
+
+    def exclusive_scan(self, values: np.ndarray, op: str = "add", identity=0) -> np.ndarray:
+        return collectives.exclusive_scan(self._check(values), op, identity)
+
+    def ballot(self, predicate: np.ndarray) -> int:
+        return collectives.ballot(self._check(predicate))
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+    def sync_cost(self, spec: GpuSpec) -> float:
+        """Group sync is cheaper than a block barrier for sub-warp groups."""
+        if self.size <= spec.warp_size:
+            return spec.costs.alu  # intra-warp: implicit lockstep
+        return spec.costs.sync
+
+    def scan_cost(self, spec: GpuSpec, n_items: int | None = None) -> float:
+        return collectives.scan_cost(spec, self.size, n_items)
+
+    def reduce_cost(self, spec: GpuSpec) -> float:
+        return collectives.reduce_cost(spec, self.size)
+
+
+def tiled_partition(block_dim: int, group_size: int) -> list[ThreadGroup]:
+    """Partition a block into equally sized cooperative groups.
+
+    Mirrors ``cg::tiled_partition<size>(cg::this_thread_block())``.
+    """
+    if not valid_group_size(group_size, block_dim):
+        raise ValueError(
+            f"cannot tile a block of {block_dim} threads into groups of {group_size}"
+        )
+    return [
+        ThreadGroup(size=group_size, group_index=g, block_dim=block_dim)
+        for g in range(block_dim // group_size)
+    ]

@@ -1,0 +1,174 @@
+"""Analytic timing: from per-lane work descriptions to kernel time.
+
+The vectorized execution path never steps individual threads.  Instead,
+each load-balancing schedule produces (vectorized, with NumPy) the cycle
+count every *thread* would accumulate, and this module folds those into
+warp, block and device times:
+
+``thread cycles -> lockstep warp max -> block (scheduler bandwidth)
+-> SM list scheduling -> makespan -> milliseconds``
+
+The same folding is applied to the SIMT interpreter's measured per-thread
+charges, so the two paths agree by construction and can be cross-checked
+in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .arch import GpuSpec
+from .sm_scheduler import ScheduleOutcome, block_cycles_from_warps, schedule_blocks
+
+__all__ = ["KernelStats", "warp_fold", "kernel_stats_from_thread_cycles",
+           "kernel_stats_from_warp_cycles"]
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Timing and efficiency statistics of one simulated kernel launch."""
+
+    elapsed_ms: float
+    makespan_cycles: float
+    grid_dim: int
+    block_dim: int
+    occupancy: float
+    #: Fraction of issued lane-cycles doing useful work (1 = no divergence).
+    simt_efficiency: float
+    #: Device utilization while the kernel ran.
+    utilization: float
+    #: Share of the makespan spent in a low-occupancy tail.
+    tail_fraction: float
+    #: Sum over threads of charged cycles (the "useful work").
+    total_thread_cycles: float
+    extras: dict = field(default_factory=dict, compare=False)
+
+    def __add__(self, other: "KernelStats") -> "KernelStats":
+        """Sequential composition of two launches (e.g. frontier iterations)."""
+        if not isinstance(other, KernelStats):
+            return NotImplemented
+        total_ms = self.elapsed_ms + other.elapsed_ms
+        w = self.elapsed_ms / total_ms if total_ms > 0 else 0.5
+        blend = lambda a, b: w * a + (1 - w) * b  # noqa: E731
+        return KernelStats(
+            elapsed_ms=total_ms,
+            makespan_cycles=self.makespan_cycles + other.makespan_cycles,
+            grid_dim=max(self.grid_dim, other.grid_dim),
+            block_dim=max(self.block_dim, other.block_dim),
+            occupancy=blend(self.occupancy, other.occupancy),
+            simt_efficiency=blend(self.simt_efficiency, other.simt_efficiency),
+            utilization=blend(self.utilization, other.utilization),
+            tail_fraction=blend(self.tail_fraction, other.tail_fraction),
+            total_thread_cycles=self.total_thread_cycles + other.total_thread_cycles,
+        )
+
+
+def warp_fold(thread_cycles: np.ndarray, warp_size: int) -> np.ndarray:
+    """Lockstep fold: per-warp cycles = max over each warp's lanes.
+
+    The input is padded with zeros up to a whole number of warps; a warp's
+    execution time is its slowest lane's, because lanes execute in lockstep
+    and idle lanes still occupy issue slots.
+    """
+    tc = np.asarray(thread_cycles, dtype=np.float64).reshape(-1)
+    if tc.size == 0:
+        return np.zeros(0)
+    n_warps = -(-tc.size // warp_size)
+    padded = np.zeros(n_warps * warp_size)
+    padded[: tc.size] = tc
+    return padded.reshape(n_warps, warp_size).max(axis=1)
+
+
+def kernel_stats_from_thread_cycles(
+    thread_cycles: np.ndarray,
+    grid_dim: int,
+    block_dim: int,
+    spec: GpuSpec,
+    *,
+    setup_cycles: float = 0.0,
+    min_body_cycles: float = 0.0,
+    extras: dict | None = None,
+) -> KernelStats:
+    """Fold per-thread cycles (launch-ordered) into kernel statistics.
+
+    ``thread_cycles`` may be shorter than ``grid_dim * block_dim`` (trailing
+    threads charged nothing); it is zero-padded.
+    """
+    tc = np.asarray(thread_cycles, dtype=np.float64).reshape(-1)
+    n_threads = grid_dim * block_dim
+    if tc.size > n_threads:
+        raise ValueError(
+            f"{tc.size} thread cycle entries for a launch of {n_threads} threads"
+        )
+    if tc.size < n_threads:
+        tc = np.pad(tc, (0, n_threads - tc.size))
+    warp_size = spec.warp_size
+    warps_per_block = -(-block_dim // warp_size)
+    blocks = tc.reshape(grid_dim, block_dim)
+    padded = np.zeros((grid_dim, warps_per_block * warp_size))
+    padded[:, :block_dim] = blocks
+    warp_cycles = padded.reshape(grid_dim, warps_per_block, warp_size).max(axis=2)
+    return kernel_stats_from_warp_cycles(
+        warp_cycles,
+        grid_dim,
+        block_dim,
+        spec,
+        total_thread_cycles=float(tc.sum()),
+        setup_cycles=setup_cycles,
+        min_body_cycles=min_body_cycles,
+        extras=extras,
+    )
+
+
+def kernel_stats_from_warp_cycles(
+    warp_cycles: np.ndarray,
+    grid_dim: int,
+    block_dim: int,
+    spec: GpuSpec,
+    *,
+    total_thread_cycles: float | None = None,
+    setup_cycles: float = 0.0,
+    min_body_cycles: float = 0.0,
+    extras: dict | None = None,
+) -> KernelStats:
+    """Fold per-warp cycles of shape ``(blocks, warps_per_block)`` into stats.
+
+    ``setup_cycles`` is added to every warp (e.g. merge-path's binary-search
+    setup phase runs on every thread before the main loop).
+    ``min_body_cycles`` is a lower bound on the kernel body's duration
+    regardless of parallelism -- used for the DRAM bandwidth floor of
+    memory-bound kernels (total bytes moved / sustained bandwidth).
+    """
+    wc = np.asarray(warp_cycles, dtype=np.float64)
+    if wc.ndim == 1:
+        wc = wc.reshape(grid_dim, -1)
+    if wc.shape[0] != grid_dim:
+        raise ValueError(
+            f"warp_cycles has {wc.shape[0]} blocks but grid_dim is {grid_dim}"
+        )
+    if setup_cycles:
+        wc = wc + setup_cycles
+    block_cycles = block_cycles_from_warps(wc, spec)
+    outcome: ScheduleOutcome = schedule_blocks(block_cycles, block_dim, spec)
+    body = max(outcome.makespan_cycles, min_body_cycles)
+    makespan = body + spec.costs.kernel_launch_cycles
+
+    if total_thread_cycles is None:
+        total_thread_cycles = float(wc.sum()) * spec.warp_size
+    issued = float(wc.sum()) * spec.warp_size
+    simt_eff = total_thread_cycles / issued if issued > 0 else 1.0
+
+    return KernelStats(
+        elapsed_ms=spec.cycles_to_ms(makespan),
+        makespan_cycles=makespan,
+        grid_dim=grid_dim,
+        block_dim=block_dim,
+        occupancy=spec.occupancy(grid_dim, block_dim),
+        simt_efficiency=min(1.0, simt_eff),
+        utilization=outcome.utilization,
+        tail_fraction=outcome.tail_fraction,
+        total_thread_cycles=total_thread_cycles,
+        extras=extras or {},
+    )

@@ -1,0 +1,132 @@
+"""Multi-GPU extension (the paper's future work, Section 8).
+
+"In the future, we are interested in expanding our model to a multi-GPU
+environment, and implementing load-balancing schedules that span across
+the GPU boundary."
+
+This module does exactly that, one level up the same abstraction: the
+*devices* become the processors, and the tile set is split across them
+with the same machinery used inside a device.  Two inter-device
+partitioners are provided:
+
+* ``"tiles"`` -- equal tile counts per device (the naive split, fragile
+  under skew, analogous to thread-mapped);
+* ``"merge_path"`` -- equal tiles+atoms per device via the same 2-D
+  binary search the merge-path schedule uses (balanced under any skew),
+  demonstrating that the paper's schedules really do "span across the
+  GPU boundary" unchanged.
+
+Each device then runs its intra-device schedule on its shard; the
+ensemble time is the slowest device plus a per-device offload overhead
+(host dispatch + result gather).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .arch import GpuSpec
+from .cost_model import KernelStats
+
+__all__ = ["MultiGpuStats", "partition_tiles", "multi_gpu_plan"]
+
+#: Host-side cost of dispatching to / gathering from one extra device,
+#: in cycles of the (homogeneous) device clock.
+PER_DEVICE_OVERHEAD_CYCLES = 2500.0
+
+
+@dataclass(frozen=True)
+class MultiGpuStats:
+    """Ensemble timing of a multi-device launch."""
+
+    elapsed_ms: float
+    num_devices: int
+    #: Per-device kernel stats, in device order.
+    device_stats: tuple[KernelStats, ...]
+    #: (atoms, tiles) per device -- the shard sizes.
+    shards: tuple[tuple[int, int], ...]
+    #: max device time / mean device time (1.0 = perfectly balanced).
+    device_imbalance: float
+    extras: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def speedup_vs_slowest_possible(self) -> float:
+        total = sum(s.elapsed_ms for s in self.device_stats)
+        return total / self.elapsed_ms if self.elapsed_ms > 0 else 1.0
+
+
+def partition_tiles(
+    tile_offsets: np.ndarray, num_devices: int, strategy: str = "merge_path"
+) -> np.ndarray:
+    """Split the tile range into ``num_devices`` contiguous shards.
+
+    Returns device boundaries in tile ids (length ``num_devices + 1``).
+    """
+    offsets = np.asarray(tile_offsets, dtype=np.int64)
+    num_tiles = offsets.size - 1
+    num_atoms = int(offsets[-1])
+    if num_devices <= 0:
+        raise ValueError("num_devices must be positive")
+    if strategy == "tiles":
+        bounds = np.linspace(0, num_tiles, num_devices + 1).astype(np.int64)
+        return bounds
+    if strategy == "merge_path":
+        from ..core.schedules.merge_path import merge_path_partition
+
+        total = num_tiles + num_atoms
+        diagonals = np.linspace(0, total, num_devices + 1).astype(np.int64)
+        tile_bounds, _ = merge_path_partition(offsets, num_atoms, diagonals)
+        tile_bounds = tile_bounds.copy()
+        tile_bounds[0], tile_bounds[-1] = 0, num_tiles
+        return tile_bounds
+    raise ValueError(f"unknown partition strategy {strategy!r}")
+
+
+def multi_gpu_plan(
+    work,
+    costs,
+    *,
+    schedule: str = "merge_path",
+    spec: GpuSpec | None = None,
+    num_devices: int = 2,
+    partition: str = "merge_path",
+    **schedule_options,
+) -> MultiGpuStats:
+    """Plan a workload across ``num_devices`` homogeneous GPUs.
+
+    ``work`` is a :class:`~repro.core.work.WorkSpec`; each shard becomes
+    its own WorkSpec scheduled independently with ``schedule``.
+    """
+    from ..core.schedule import make_schedule
+    from ..core.work import WorkSpec
+    from .arch import V100
+
+    spec = spec or V100
+    bounds = partition_tiles(work.tile_offsets, num_devices, partition)
+    device_stats: list[KernelStats] = []
+    shards: list[tuple[int, int]] = []
+    for d in range(num_devices):
+        lo, hi = int(bounds[d]), int(bounds[d + 1])
+        shard_offsets = work.tile_offsets[lo : hi + 1] - work.tile_offsets[lo]
+        shard = WorkSpec.from_offsets(shard_offsets, label=f"{work.label}/dev{d}")
+        shards.append((shard.num_atoms, shard.num_tiles))
+        if shard.num_tiles == 0 and shard.num_atoms == 0:
+            continue
+        sched = make_schedule(schedule, shard, spec, **schedule_options)
+        device_stats.append(sched.plan(costs, extras={"device": d}))
+
+    if not device_stats:
+        raise ValueError("empty workload: nothing to plan")
+    times = np.array([s.elapsed_ms for s in device_stats])
+    overhead_ms = spec.cycles_to_ms(PER_DEVICE_OVERHEAD_CYCLES) * num_devices
+    elapsed = float(times.max()) + overhead_ms
+    return MultiGpuStats(
+        elapsed_ms=elapsed,
+        num_devices=num_devices,
+        device_stats=tuple(device_stats),
+        shards=tuple(shards),
+        device_imbalance=float(times.max() / times.mean()),
+        extras={"partition": partition, "schedule": schedule},
+    )

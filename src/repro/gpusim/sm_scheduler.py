@@ -1,0 +1,140 @@
+"""Oversubscribed block scheduling onto streaming multiprocessors.
+
+CUDA's execution model assigns thread blocks to SMs as residency slots free
+up: the programmer launches far more blocks than the device can hold
+(*oversubscription*), and the hardware work-distributor keeps every SM busy
+as long as blocks remain.  Warp- and block-mapped load balancing (paper,
+Section 5.2.2) explicitly lean on this mechanism: imbalance across blocks
+is "left for the hardware scheduler to handle".
+
+This module reproduces that mechanism with greedy list scheduling: each SM
+offers ``resident_blocks_per_sm`` slots, each slot serially executes blocks,
+and arriving blocks go to the earliest-available slot.  The makespan (the
+finish time of the last block) is the kernel's execution time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arch import GpuSpec
+
+__all__ = ["ScheduleOutcome", "schedule_blocks", "block_cycles_from_warps"]
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Result of scheduling a launch's blocks onto the device."""
+
+    makespan_cycles: float
+    total_block_cycles: float
+    num_blocks: int
+    num_slots: int
+    #: Mean utilization of the device while the kernel ran:
+    #: total work / (slots * makespan).
+    utilization: float
+    #: Tail fraction: share of the makespan during which fewer than half of
+    #: the slots were busy (a long tail indicates imbalance across blocks).
+    tail_fraction: float
+
+
+def block_cycles_from_warps(warp_cycles: np.ndarray, spec: GpuSpec) -> np.ndarray:
+    """Fold per-warp cycle counts into per-block execution times.
+
+    Within a block, warps run concurrently on the SM's warp schedulers.  A
+    block is limited both by its longest warp (critical path) and by issue
+    bandwidth (``sum / warp_schedulers``); we take the max of the two.
+
+    Parameters
+    ----------
+    warp_cycles:
+        Array of shape ``(num_blocks, warps_per_block)``.
+    """
+    wc = np.asarray(warp_cycles, dtype=np.float64)
+    if wc.ndim == 1:
+        wc = wc[:, None]
+    critical = wc.max(axis=1)
+    bandwidth = wc.sum(axis=1) / spec.warp_schedulers_per_sm
+    return np.maximum(critical, bandwidth)
+
+
+def schedule_blocks(
+    block_cycles: np.ndarray, block_dim: int, spec: GpuSpec
+) -> ScheduleOutcome:
+    """Greedy list scheduling of blocks onto SM residency slots.
+
+    Blocks are dispatched in launch order to the earliest-available slot,
+    matching the hardware's behaviour of backfilling SMs as resident blocks
+    retire.
+    """
+    cycles = np.asarray(block_cycles, dtype=np.float64)
+    if cycles.ndim != 1:
+        raise ValueError("block_cycles must be one-dimensional")
+    n_blocks = cycles.size
+    if n_blocks == 0:
+        return ScheduleOutcome(0.0, 0.0, 0, 0, 1.0, 0.0)
+    if np.any(cycles < 0):
+        raise ValueError("block cycle counts must be non-negative")
+
+    slots_per_sm = spec.resident_blocks_per_sm(block_dim)
+    num_slots = slots_per_sm * spec.num_sms
+    total = float(cycles.sum())
+
+    if n_blocks <= num_slots:
+        makespan = float(cycles.max())
+        finish_times = cycles
+    elif _is_uniform(cycles):
+        # Fast path: equal blocks pack into ceil(n/slots) full waves.
+        waves = -(-n_blocks // num_slots)
+        makespan = float(cycles[0]) * waves
+        finish_times = None
+    else:
+        makespan, finish_times = _list_schedule(cycles, num_slots)
+
+    utilization = total / (num_slots * makespan) if makespan > 0 else 1.0
+    tail = _tail_fraction(cycles, num_slots, makespan, finish_times)
+    return ScheduleOutcome(
+        makespan_cycles=makespan,
+        total_block_cycles=total,
+        num_blocks=n_blocks,
+        num_slots=num_slots,
+        utilization=min(1.0, utilization),
+        tail_fraction=tail,
+    )
+
+
+def _is_uniform(cycles: np.ndarray) -> bool:
+    return bool(cycles.size and np.all(cycles == cycles[0]))
+
+
+def _list_schedule(cycles: np.ndarray, num_slots: int) -> tuple[float, np.ndarray]:
+    """Event-driven greedy scheduling; returns makespan and finish times."""
+    heap = [0.0] * num_slots
+    heapq.heapify(heap)
+    finish = np.empty_like(cycles)
+    for i, c in enumerate(cycles):
+        start = heapq.heappop(heap)
+        end = start + c
+        finish[i] = end
+        heapq.heappush(heap, end)
+    return float(max(heap)), finish
+
+
+def _tail_fraction(
+    cycles: np.ndarray,
+    num_slots: int,
+    makespan: float,
+    finish_times: np.ndarray | None,
+) -> float:
+    """Fraction of the makespan with fewer than half the slots busy."""
+    if makespan <= 0 or finish_times is None:
+        return 0.0
+    # Approximate: after the time by which half the total work area could
+    # have completed at full occupancy, measure remaining span.
+    order = np.sort(finish_times)
+    busy_half_idx = max(0, order.size - num_slots // 2 - 1)
+    t_half_idle = order[busy_half_idx] if order.size else makespan
+    return float(max(0.0, makespan - t_half_idle) / makespan)

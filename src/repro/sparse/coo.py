@@ -1,0 +1,97 @@
+"""Coordinate (COO) sparse matrices.
+
+COO stores one ``(row, col, value)`` triple per nonzero.  In the paper's
+vocabulary it is the format whose atom iterator is trivially the triple
+index and whose atoms-per-tile iterator requires a row-pointer build or a
+search -- which is why schedules in this framework consume a
+:class:`~repro.core.work.WorkSpec` rather than a concrete format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CooMatrix"]
+
+
+@dataclass(frozen=True)
+class CooMatrix:
+    """An immutable COO sparse matrix (triples need not be sorted)."""
+
+    rows: np.ndarray  # (nnz,) int64
+    cols: np.ndarray  # (nnz,) int64
+    values: np.ndarray  # (nnz,) float64
+    shape: tuple[int, int]
+
+    @staticmethod
+    def from_arrays(rows, cols, values, shape, *, validate: bool = True) -> "CooMatrix":
+        m = CooMatrix(
+            rows=np.ascontiguousarray(rows, dtype=np.int64),
+            cols=np.ascontiguousarray(cols, dtype=np.int64),
+            values=np.ascontiguousarray(values, dtype=np.float64),
+            shape=(int(shape[0]), int(shape[1])),
+        )
+        if validate:
+            m.validate()
+        return m
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rows.size)
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    def validate(self) -> None:
+        if not (self.rows.shape == self.cols.shape == self.values.shape):
+            raise ValueError("rows, cols and values must have identical shapes")
+        if self.rows.ndim != 1:
+            raise ValueError("COO arrays must be one-dimensional")
+        if self.nnz:
+            if self.rows.min() < 0 or self.rows.max() >= self.shape[0]:
+                raise ValueError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= self.shape[1]:
+                raise ValueError("column index out of range")
+
+    def sorted_by_row(self) -> "CooMatrix":
+        """Stable sort by (row, col) -- the canonical order for CSR builds."""
+        order = np.lexsort((self.cols, self.rows))
+        return CooMatrix.from_arrays(
+            self.rows[order],
+            self.cols[order],
+            self.values[order],
+            self.shape,
+            validate=False,
+        )
+
+    def sum_duplicates(self) -> "CooMatrix":
+        """Combine duplicate (row, col) entries by summing their values."""
+        if self.nnz == 0:
+            return self
+        s = self.sorted_by_row()
+        key_changes = np.empty(s.nnz, dtype=bool)
+        key_changes[0] = True
+        key_changes[1:] = (np.diff(s.rows) != 0) | (np.diff(s.cols) != 0)
+        group_ids = np.cumsum(key_changes) - 1
+        n_groups = int(group_ids[-1]) + 1
+        vals = np.zeros(n_groups)
+        np.add.at(vals, group_ids, s.values)
+        first = np.nonzero(key_changes)[0]
+        return CooMatrix.from_arrays(
+            s.rows[first], s.cols[first], vals, self.shape, validate=False
+        )
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        np.add.at(out, (self.rows, self.cols), self.values)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CooMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,85 @@
+"""Compressed Sparse Column (CSC) matrices.
+
+The column-major twin of CSR; included because the paper's library ships
+CSR, CSC and COO out of the box (Section 3.1).  For load balancing, a CSC
+matrix's tiles are its *columns*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CscMatrix"]
+
+
+@dataclass(frozen=True)
+class CscMatrix:
+    """An immutable CSC sparse matrix."""
+
+    col_offsets: np.ndarray  # (cols + 1,) int64
+    row_indices: np.ndarray  # (nnz,) int64
+    values: np.ndarray  # (nnz,) float64
+    shape: tuple[int, int]
+
+    @staticmethod
+    def from_arrays(col_offsets, row_indices, values, shape, *, validate=True) -> "CscMatrix":
+        m = CscMatrix(
+            col_offsets=np.ascontiguousarray(col_offsets, dtype=np.int64),
+            row_indices=np.ascontiguousarray(row_indices, dtype=np.int64),
+            values=np.ascontiguousarray(values, dtype=np.float64),
+            shape=(int(shape[0]), int(shape[1])),
+        )
+        if validate:
+            m.validate()
+        return m
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.row_indices.size)
+
+    def col_lengths(self) -> np.ndarray:
+        """Number of nonzeros in each column (= atoms per tile for CSC)."""
+        return np.diff(self.col_offsets)
+
+    def col_slice(self, col: int) -> tuple[np.ndarray, np.ndarray]:
+        if not 0 <= col < self.num_cols:
+            raise IndexError(f"column {col} out of range for {self.num_cols} columns")
+        lo, hi = self.col_offsets[col], self.col_offsets[col + 1]
+        return self.row_indices[lo:hi], self.values[lo:hi]
+
+    def validate(self) -> None:
+        rows, cols = self.shape
+        if self.col_offsets.ndim != 1 or self.col_offsets.size != cols + 1:
+            raise ValueError(
+                f"col_offsets must have length cols+1={cols + 1}, "
+                f"got {self.col_offsets.size}"
+            )
+        if self.col_offsets[0] != 0:
+            raise ValueError("col_offsets[0] must be 0")
+        if np.any(np.diff(self.col_offsets) < 0):
+            raise ValueError("col_offsets must be non-decreasing")
+        if self.col_offsets[-1] != self.row_indices.size:
+            raise ValueError("col_offsets[-1] must equal nnz")
+        if self.values.shape != self.row_indices.shape:
+            raise ValueError("values and row_indices must have the same length")
+        if self.nnz and (self.row_indices.min() < 0 or self.row_indices.max() >= rows):
+            raise ValueError("row index out of range")
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        cols = np.repeat(np.arange(self.num_cols), self.col_lengths())
+        np.add.at(out, (self.row_indices, cols), self.values)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CscMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,118 @@
+"""ELLPACK (ELL) sparse matrices.
+
+ELL pads every row to the same width: a dense ``rows x width`` block of
+column indices and values with a sentinel for padding.  It trades memory
+for *structural* load balance -- every tile has exactly ``width``
+(padded) atoms, so even the trivial thread-mapped schedule is perfectly
+balanced on it.  The related work's "store the input in already-load-
+balanced formats" family (F-COO et al., Section 7) is represented by
+this format in the reproduction.
+
+The pathology is equally classic: one long row inflates ``width`` and
+the padding explodes -- which is precisely why the paper balances
+*schedules* rather than *storage*.  ``padding_ratio`` quantifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CsrMatrix
+
+__all__ = ["EllMatrix", "csr_to_ell", "ell_to_csr"]
+
+#: Sentinel column index marking padding slots.
+PAD = -1
+
+
+@dataclass(frozen=True)
+class EllMatrix:
+    """An immutable ELL matrix (row-major padded storage)."""
+
+    col_indices: np.ndarray  # (rows, width) int64, PAD for padding
+    values: np.ndarray  # (rows, width) float64, 0 for padding
+    shape: tuple[int, int]
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def width(self) -> int:
+        return int(self.col_indices.shape[1]) if self.col_indices.ndim == 2 else 0
+
+    @property
+    def nnz(self) -> int:
+        return int((self.col_indices != PAD).sum())
+
+    @property
+    def padded_size(self) -> int:
+        return int(self.col_indices.size)
+
+    def padding_ratio(self) -> float:
+        """Padded slots / real nonzeros (0 = no waste)."""
+        nnz = self.nnz
+        if nnz == 0:
+            return 0.0
+        return (self.padded_size - nnz) / nnz
+
+    def validate(self) -> None:
+        if self.col_indices.shape != self.values.shape:
+            raise ValueError("col_indices and values must have identical shapes")
+        if self.col_indices.ndim != 2:
+            raise ValueError("ELL storage must be two-dimensional")
+        if self.col_indices.shape[0] != self.shape[0]:
+            raise ValueError("row count mismatch")
+        real = self.col_indices[self.col_indices != PAD]
+        if real.size and (real.min() < 0 or real.max() >= self.shape[1]):
+            raise ValueError("column index out of range")
+        # Padding must be right-aligned within each row (canonical ELL).
+        mask = self.col_indices != PAD
+        if mask.size and np.any(np.diff(mask.astype(np.int8), axis=1) > 0):
+            raise ValueError("padding must be trailing within each row")
+
+    def row_lengths(self) -> np.ndarray:
+        return (self.col_indices != PAD).sum(axis=1).astype(np.int64)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        rows, slots = np.nonzero(self.col_indices != PAD)
+        np.add.at(out, (rows, self.col_indices[rows, slots]), self.values[rows, slots])
+        return out
+
+
+def csr_to_ell(csr: CsrMatrix, max_width: int | None = None) -> EllMatrix:
+    """Convert CSR to ELL; raises if a row exceeds ``max_width``."""
+    lengths = csr.row_lengths()
+    width = int(lengths.max()) if lengths.size else 0
+    if max_width is not None and width > max_width:
+        raise ValueError(
+            f"longest row has {width} nonzeros, exceeding max_width={max_width}; "
+            f"ELL padding would explode (use a schedule, not storage!)"
+        )
+    rows = csr.num_rows
+    col_indices = np.full((rows, width), PAD, dtype=np.int64)
+    values = np.zeros((rows, width))
+    slot = np.concatenate(
+        [np.arange(n, dtype=np.int64) for n in lengths]
+    ) if csr.nnz else np.zeros(0, dtype=np.int64)
+    row_ids = np.repeat(np.arange(rows, dtype=np.int64), lengths)
+    col_indices[row_ids, slot] = csr.col_indices
+    values[row_ids, slot] = csr.values
+    return EllMatrix(col_indices=col_indices, values=values, shape=csr.shape)
+
+
+def ell_to_csr(ell: EllMatrix) -> CsrMatrix:
+    lengths = ell.row_lengths()
+    offsets = np.zeros(ell.num_rows + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    mask = ell.col_indices != PAD
+    return CsrMatrix.from_arrays(
+        offsets, ell.col_indices[mask], ell.values[mask], ell.shape
+    )

@@ -1,0 +1,98 @@
+"""Sparse third-order tensors (COO storage).
+
+Section 3.3 lists sparse-tensor contractions among the computations the
+abstraction expresses, and the related work covers load-balanced
+SpMTTKRP (Nisa et al.) and the F-COO balanced tensor format (Liu et
+al.).  This module provides the data substrate: a 3-way COO tensor whose
+mode-0 *slices* are the work tiles and whose nonzeros are the atoms --
+the same vocabulary as a sparse matrix, one rank higher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SparseTensor3", "random_tensor"]
+
+
+@dataclass(frozen=True)
+class SparseTensor3:
+    """An immutable sparse 3-way tensor in coordinate form.
+
+    Coordinates are sorted by mode-0 index so each slice's nonzeros form
+    a contiguous atom range (the invariant the schedules need).
+    """
+
+    i: np.ndarray  # (nnz,) int64, sorted
+    j: np.ndarray  # (nnz,) int64
+    k: np.ndarray  # (nnz,) int64
+    values: np.ndarray  # (nnz,) float64
+    shape: tuple[int, int, int]
+
+    @staticmethod
+    def from_arrays(i, j, k, values, shape, *, validate: bool = True) -> "SparseTensor3":
+        i = np.ascontiguousarray(i, dtype=np.int64)
+        j = np.ascontiguousarray(j, dtype=np.int64)
+        k = np.ascontiguousarray(k, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if not (i.shape == j.shape == k.shape == values.shape):
+            raise ValueError("coordinate arrays must have identical shapes")
+        order = np.lexsort((k, j, i))
+        t = SparseTensor3(
+            i=i[order], j=j[order], k=k[order], values=values[order],
+            shape=(int(shape[0]), int(shape[1]), int(shape[2])),
+        )
+        if validate:
+            t.validate()
+        return t
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def validate(self) -> None:
+        if not (self.i.shape == self.j.shape == self.k.shape == self.values.shape):
+            raise ValueError("coordinate arrays must have identical shapes")
+        for name, idx, dim in (("i", self.i, 0), ("j", self.j, 1), ("k", self.k, 2)):
+            if idx.size and (idx.min() < 0 or idx.max() >= self.shape[dim]):
+                raise ValueError(f"{name} index out of range for dim {self.shape[dim]}")
+        if np.any(np.diff(self.i) < 0):
+            raise ValueError("coordinates must be sorted by mode-0 index")
+
+    def slice_counts(self) -> np.ndarray:
+        """Nonzeros per mode-0 slice (= atoms per tile)."""
+        return np.bincount(self.i, minlength=self.shape[0]).astype(np.int64)
+
+    def slice_offsets(self) -> np.ndarray:
+        counts = self.slice_counts()
+        offsets = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return offsets
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        np.add.at(out, (self.i, self.j, self.k), self.values)
+        return out
+
+
+def random_tensor(
+    shape: tuple[int, int, int],
+    nnz: int,
+    *,
+    skew: float = 0.0,
+    seed: int = 0,
+) -> SparseTensor3:
+    """A random sparse tensor; ``skew > 0`` concentrates nonzeros on few
+    mode-0 slices (Zipf-distributed), mimicking real tensor corpora."""
+    rng = np.random.default_rng(seed)
+    if skew > 0:
+        raw = rng.zipf(1.0 + skew, size=nnz).astype(np.int64)
+        i = (raw - 1) % shape[0]
+    else:
+        i = rng.integers(0, shape[0], size=nnz, dtype=np.int64)
+    j = rng.integers(0, shape[1], size=nnz, dtype=np.int64)
+    k = rng.integers(0, shape[2], size=nnz, dtype=np.int64)
+    values = rng.uniform(0.1, 1.0, size=nnz)
+    return SparseTensor3.from_arrays(i, j, k, values, shape)

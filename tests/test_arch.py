@@ -1,0 +1,114 @@
+"""Unit tests for repro.gpusim.arch."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim.arch import (
+    A100,
+    AMD_WARP64,
+    PRESETS,
+    TINY_GPU,
+    V100,
+    CostParams,
+    GpuSpec,
+    get_spec,
+)
+
+
+class TestGpuSpecValidation:
+    def test_default_is_v100(self):
+        assert V100.name == "V100"
+        assert V100.num_sms == 80
+        assert V100.warp_size == 32
+
+    def test_rejects_non_power_of_two_warp(self):
+        with pytest.raises(ValueError, match="power of two"):
+            GpuSpec(warp_size=24)
+
+    def test_rejects_zero_warp(self):
+        with pytest.raises(ValueError):
+            GpuSpec(warp_size=0)
+
+    def test_rejects_nonpositive_sms(self):
+        with pytest.raises(ValueError, match="num_sms"):
+            GpuSpec(num_sms=0)
+
+    def test_rejects_unaligned_max_block(self):
+        with pytest.raises(ValueError, match="multiple of warp_size"):
+            GpuSpec(max_threads_per_block=1000)
+
+    def test_amd_preset_warp64(self):
+        assert AMD_WARP64.warp_size == 64
+
+
+class TestDerivedQuantities:
+    def test_resident_threads(self):
+        assert V100.max_resident_threads_per_sm == 64 * 32
+        assert V100.max_resident_threads == 64 * 32 * 80
+
+    def test_warps_per_block_rounds_up(self):
+        assert V100.warps_per_block(33) == 2
+        assert V100.warps_per_block(32) == 1
+        assert V100.warps_per_block(256) == 8
+
+    def test_resident_blocks_per_sm_limited_by_warps(self):
+        # 1024-thread blocks = 32 warps -> only 2 fit in 64 resident warps.
+        assert V100.resident_blocks_per_sm(1024) == 2
+
+    def test_resident_blocks_per_sm_limited_by_block_cap(self):
+        # 32-thread blocks would fit 64 by warps but cap is 32.
+        assert V100.resident_blocks_per_sm(32) == 32
+
+    def test_resident_blocks_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            V100.resident_blocks_per_sm(0)
+        with pytest.raises(ValueError):
+            V100.resident_blocks_per_sm(2048)
+
+    def test_occupancy_full(self):
+        # Enough blocks to fill the device completely.
+        grid = V100.resident_blocks_per_sm(256) * V100.num_sms
+        assert V100.occupancy(grid, 256) == pytest.approx(1.0)
+
+    def test_occupancy_single_block(self):
+        occ = V100.occupancy(1, 256)
+        assert 0 < occ < 0.01
+
+    def test_cycles_ms_roundtrip(self):
+        cycles = 1.38e9  # one second of cycles at 1.38 GHz
+        assert V100.cycles_to_ms(cycles) == pytest.approx(1000.0)
+        assert V100.ms_to_cycles(V100.cycles_to_ms(12345.0)) == pytest.approx(12345.0)
+
+
+class TestPresetsAndCosts:
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("v100") is V100
+        assert get_spec("A100") is A100
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(KeyError, match="unknown GPU preset"):
+            get_spec("H100")
+
+    def test_presets_registry_complete(self):
+        assert set(PRESETS) == {"V100", "A100", "AMD-WARP64", "TINY"}
+
+    def test_with_costs_replaces_only_named(self):
+        spec = V100.with_costs(fma=99.0)
+        assert spec.costs.fma == 99.0
+        assert spec.costs.alu == V100.costs.alu
+        # Original untouched (frozen dataclasses).
+        assert V100.costs.fma != 99.0
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            V100.num_sms = 1  # type: ignore[misc]
+
+    def test_cost_params_defaults_positive(self):
+        c = CostParams()
+        for f in dataclasses.fields(c):
+            assert getattr(c, f.name) >= 0
+
+    def test_tiny_gpu_valid_for_interpreter(self):
+        assert TINY_GPU.warp_size == 4
+        assert TINY_GPU.max_threads_per_block % TINY_GPU.warp_size == 0

@@ -1,0 +1,109 @@
+"""Tests for the artifact-style CLI (``python -m repro``)."""
+
+import csv
+import io
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+CHESAPEAKE = Path(__file__).resolve().parent.parent / "datasets" / "chesapeake.mtx"
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        code = main(list(argv))
+    return code, buf.getvalue()
+
+
+class TestSpmvCommand:
+    def test_dataset_run_validates(self):
+        code, out = run_cli(
+            "spmv", "--dataset", "tiny_diag_32", "--scale", "smoke", "--validate"
+        )
+        assert code == 0
+        assert "Errors: 0" in out
+        assert "Dimensions: 32 x 32 (32)" in out
+        assert "Elapsed (ms):" in out
+
+    def test_mtx_run_matches_artifact_output(self):
+        # The paper's A.3.1 sanity check via the CLI.
+        code, out = run_cli(
+            "spmv", "-m", str(CHESAPEAKE), "--schedule", "merge_path", "--validate"
+        )
+        assert code == 0
+        assert "Dimensions: 39 x 39 (340)" in out
+        assert "Errors: 0" in out
+
+    def test_heuristic_schedule(self):
+        code, out = run_cli(
+            "spmv", "--dataset", "tiny_uniform_64", "--scale", "smoke",
+            "--schedule", "heuristic",
+        )
+        assert code == 0
+        assert "Schedule: thread_mapped" in out
+
+    def test_spec_selection(self):
+        code, out = run_cli(
+            "spmv", "--dataset", "tiny_diag_32", "--scale", "smoke",
+            "--spec", "AMD-WARP64",
+        )
+        assert code == 0
+
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            run_cli("spmv")
+
+
+class TestSweepCommand:
+    def test_stdout_csv(self):
+        code, out = run_cli(
+            "sweep", "--kernels", "merge_path", "--scale", "smoke", "--limit", "3"
+        )
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(out)))
+        assert len(rows) == 3
+        assert rows[0]["kernel"] == "merge_path"
+
+    def test_file_output(self, tmp_path):
+        target = tmp_path / "sweep.csv"
+        code, out = run_cli(
+            "sweep", "--kernels", "cub", "cusparse", "--scale", "smoke",
+            "--limit", "2", "-o", str(target),
+        )
+        assert code == 0
+        assert "wrote 4 rows" in out
+        assert target.exists()
+
+
+class TestInfoCommands:
+    def test_datasets_listing(self):
+        code, out = run_cli("datasets", "--scale", "smoke")
+        assert code == 0
+        assert "power_a19" in out
+        assert "spvec_2k" in out
+
+    def test_table1(self):
+        code, out = run_cli("table1")
+        assert code == 0
+        assert "merge_path" in out
+        assert "503" in out  # paper's CUB number
+
+    def test_schedules(self):
+        code, out = run_cli("schedules")
+        assert code == 0
+        listed = out.split()
+        assert "merge_path" in listed
+        assert "dynamic_queue" in listed
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_module_entry_point_exists(self):
+        import repro.__main__  # noqa: F401

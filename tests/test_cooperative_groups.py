@@ -1,0 +1,93 @@
+"""Tests for the cooperative-groups model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.arch import V100
+from repro.gpusim.cooperative_groups import ThreadGroup, tiled_partition, valid_group_size
+
+
+class TestTiledPartition:
+    def test_partitions_block(self):
+        groups = tiled_partition(256, 32)
+        assert len(groups) == 8
+        assert all(g.size == 32 for g in groups)
+        assert [g.group_index for g in groups] == list(range(8))
+
+    def test_group_of_block_size(self):
+        (g,) = tiled_partition(128, 128)
+        assert g.groups_per_block == 1
+
+    def test_arbitrary_sizes_allowed(self):
+        # The paper's point: groups need not be warp- or block-sized.
+        assert len(tiled_partition(96, 12)) == 8
+
+    def test_rejects_non_dividing(self):
+        with pytest.raises(ValueError, match="tile"):
+            tiled_partition(256, 48)
+
+    def test_valid_group_size(self):
+        assert valid_group_size(16, 256)
+        assert not valid_group_size(0, 256)
+        assert not valid_group_size(257, 256)
+        assert not valid_group_size(13, 256)
+
+
+class TestThreadGroup:
+    def test_ranks(self):
+        g = ThreadGroup(size=8, group_index=2, block_dim=32)
+        assert g.thread_rank(16) == 0
+        assert g.thread_rank(23) == 7
+        assert g.contains(17)
+        assert not g.contains(8)
+
+    def test_rank_out_of_group_raises(self):
+        g = ThreadGroup(size=8, group_index=0, block_dim=32)
+        with pytest.raises(ValueError):
+            g.thread_rank(9)
+
+    def test_lane_slice(self):
+        g = ThreadGroup(size=8, group_index=1, block_dim=32)
+        assert g.lane_slice() == slice(8, 16)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ThreadGroup(size=7, group_index=0, block_dim=32)
+        with pytest.raises(ValueError):
+            ThreadGroup(size=8, group_index=4, block_dim=32)
+
+
+class TestGroupCollectives:
+    def test_reduce(self):
+        g = ThreadGroup(size=4, group_index=0, block_dim=4)
+        assert g.reduce(np.array([1, 2, 3, 4])) == 10
+
+    def test_scans(self):
+        g = ThreadGroup(size=4, group_index=0, block_dim=4)
+        np.testing.assert_array_equal(
+            g.exclusive_scan(np.array([1, 2, 3, 4])), [0, 1, 3, 6]
+        )
+        np.testing.assert_array_equal(
+            g.inclusive_scan(np.array([1, 2, 3, 4])), [1, 3, 6, 10]
+        )
+
+    def test_ballot(self):
+        g = ThreadGroup(size=4, group_index=0, block_dim=4)
+        assert g.ballot(np.array([1, 0, 1, 0], dtype=bool)) == 0b0101
+
+    def test_wrong_width_rejected(self):
+        g = ThreadGroup(size=4, group_index=0, block_dim=4)
+        with pytest.raises(ValueError, match="lanes"):
+            g.reduce(np.array([1, 2]))
+
+
+class TestGroupCosts:
+    def test_subwarp_sync_cheap(self):
+        sub = ThreadGroup(size=16, group_index=0, block_dim=32)
+        sup = ThreadGroup(size=64, group_index=0, block_dim=64)
+        assert sub.sync_cost(V100) < sup.sync_cost(V100)
+
+    def test_scan_cost_positive(self):
+        g = ThreadGroup(size=32, group_index=0, block_dim=32)
+        assert g.scan_cost(V100) > 0
+        assert g.reduce_cost(V100) > 0

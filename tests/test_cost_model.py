@@ -1,0 +1,110 @@
+"""Tests for the analytic cost model (repro.gpusim.cost_model)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.arch import TINY_GPU, V100
+from repro.gpusim.cost_model import (
+    KernelStats,
+    kernel_stats_from_thread_cycles,
+    kernel_stats_from_warp_cycles,
+    warp_fold,
+)
+
+
+class TestWarpFold:
+    def test_takes_lockstep_max(self):
+        tc = np.array([1.0, 9.0, 2.0, 3.0, 4.0, 4.0, 4.0, 4.0])
+        np.testing.assert_array_equal(warp_fold(tc, 4), [9.0, 4.0])
+
+    def test_pads_partial_warp(self):
+        np.testing.assert_array_equal(warp_fold(np.array([5.0, 6.0]), 4), [6.0])
+
+    def test_empty(self):
+        assert warp_fold(np.array([]), 4).size == 0
+
+
+class TestStatsFromThreadCycles:
+    def test_rejects_too_many_entries(self):
+        with pytest.raises(ValueError, match="thread cycle entries"):
+            kernel_stats_from_thread_cycles(np.ones(100), 1, 8, TINY_GPU)
+
+    def test_pads_short_input(self):
+        s = kernel_stats_from_thread_cycles(np.ones(3), 1, 8, TINY_GPU)
+        assert s.total_thread_cycles == pytest.approx(3.0)
+
+    def test_skewed_slower_than_uniform_same_total(self):
+        # 32 threads, same total work, one skewed distribution.
+        uniform = np.full(32, 10.0)
+        skewed = np.zeros(32)
+        skewed[0] = 320.0
+        su = kernel_stats_from_thread_cycles(uniform, 4, 8, TINY_GPU)
+        ss = kernel_stats_from_thread_cycles(skewed, 4, 8, TINY_GPU)
+        assert ss.elapsed_ms > su.elapsed_ms
+        assert ss.simt_efficiency < su.simt_efficiency
+
+    def test_min_body_cycles_floor_applies(self):
+        s1 = kernel_stats_from_thread_cycles(np.ones(8), 1, 8, TINY_GPU)
+        s2 = kernel_stats_from_thread_cycles(
+            np.ones(8), 1, 8, TINY_GPU, min_body_cycles=1e6
+        )
+        assert s2.makespan_cycles == pytest.approx(
+            1e6 + TINY_GPU.costs.kernel_launch_cycles
+        )
+        assert s2.elapsed_ms > s1.elapsed_ms
+
+    def test_setup_cycles_added_per_warp(self):
+        s1 = kernel_stats_from_thread_cycles(np.ones(8), 1, 8, TINY_GPU)
+        s2 = kernel_stats_from_thread_cycles(
+            np.ones(8), 1, 8, TINY_GPU, setup_cycles=50.0
+        )
+        assert s2.makespan_cycles > s1.makespan_cycles
+
+
+class TestStatsFromWarpCycles:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="blocks"):
+            kernel_stats_from_warp_cycles(np.ones((3, 2)), 2, 64, TINY_GPU)
+
+    def test_occupancy_and_efficiency_bounds(self):
+        s = kernel_stats_from_warp_cycles(np.ones((4, 2)), 4, 8, TINY_GPU)
+        assert 0 <= s.occupancy <= 1
+        assert 0 <= s.simt_efficiency <= 1
+        assert 0 <= s.utilization <= 1
+
+    def test_v100_large_launch(self):
+        wc = np.random.default_rng(0).uniform(10, 100, size=(1000, 8))
+        s = kernel_stats_from_warp_cycles(wc, 1000, 256, V100)
+        assert s.elapsed_ms > 0
+        assert s.grid_dim == 1000
+
+
+class TestStatsComposition:
+    def _mk(self, ms: float) -> KernelStats:
+        return KernelStats(
+            elapsed_ms=ms,
+            makespan_cycles=ms * 1000,
+            grid_dim=10,
+            block_dim=128,
+            occupancy=0.5,
+            simt_efficiency=0.8,
+            utilization=0.6,
+            tail_fraction=0.1,
+            total_thread_cycles=100.0,
+        )
+
+    def test_add_sums_elapsed(self):
+        s = self._mk(1.0) + self._mk(2.0)
+        assert s.elapsed_ms == pytest.approx(3.0)
+        assert s.makespan_cycles == pytest.approx(3000.0)
+        assert s.total_thread_cycles == pytest.approx(200.0)
+
+    def test_add_blends_ratios(self):
+        a, b = self._mk(1.0), self._mk(1.0)
+        s = a + b
+        assert s.occupancy == pytest.approx(0.5)
+        assert s.simt_efficiency == pytest.approx(0.8)
+
+    def test_add_type_error(self):
+        with pytest.raises(TypeError):
+            _ = self._mk(1.0) + 5  # type: ignore[operator]

@@ -1,0 +1,98 @@
+"""Tests for the ELL format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ell import PAD, EllMatrix, csr_to_ell, ell_to_csr
+from repro.sparse import generators as gen
+
+counts_lists = st.lists(st.integers(0, 12), min_size=1, max_size=40)
+
+
+class TestConversion:
+    def test_roundtrip_dense(self):
+        m = gen.poisson_random(20, 15, 3.0, seed=1)
+        ell = csr_to_ell(m)
+        np.testing.assert_allclose(ell.to_dense(), m.to_dense())
+        back = ell_to_csr(ell)
+        np.testing.assert_allclose(back.to_dense(), m.to_dense())
+
+    @given(counts_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, counts):
+        from conftest import make_csr_from_counts
+
+        m = make_csr_from_counts(counts, cols=16)
+        ell = csr_to_ell(m)
+        ell.validate()
+        np.testing.assert_allclose(ell_to_csr(ell).to_dense(), m.to_dense())
+        np.testing.assert_array_equal(ell.row_lengths(), m.row_lengths())
+
+    def test_width_is_longest_row(self):
+        m = CsrMatrix.from_dense(
+            np.array([[1.0, 2, 3], [0, 4, 0], [0, 0, 0]])
+        )
+        ell = csr_to_ell(m)
+        assert ell.width == 3
+        assert ell.nnz == 4
+        assert ell.col_indices[2, 0] == PAD
+
+    def test_max_width_guard(self):
+        m = gen.dense_row_outliers(100, 200, 2, 1, 150, seed=2)
+        with pytest.raises(ValueError, match="padding would explode"):
+            csr_to_ell(m, max_width=32)
+
+    def test_empty_matrix(self):
+        ell = csr_to_ell(CsrMatrix.empty((3, 3)))
+        assert ell.width == 0
+        assert ell.nnz == 0
+        assert ell.padding_ratio() == 0.0
+
+
+class TestStructuralBalance:
+    def test_uniform_matrix_has_zero_padding(self):
+        m = gen.uniform_random(50, 50, 6, seed=3)
+        assert csr_to_ell(m).padding_ratio() == 0.0
+
+    def test_skewed_matrix_pads_badly(self):
+        # The format-vs-schedule trade-off: ELL on a power-law matrix
+        # wastes multiples of the real data in padding.
+        m = gen.dense_row_outliers(500, 500, 2, 2, 400, seed=4)
+        assert csr_to_ell(m).padding_ratio() > 10
+
+    def test_workspec_from_ell_is_balanced(self):
+        from repro.core.work import WorkSpec
+
+        m = gen.uniform_random(64, 64, 4, seed=5)
+        ell = csr_to_ell(m)
+        work = WorkSpec.from_counts(ell.row_lengths())
+        assert np.all(work.atoms_per_tile() == 4)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            EllMatrix(
+                col_indices=np.zeros((2, 3), dtype=np.int64),
+                values=np.zeros((2, 2)),
+                shape=(2, 4),
+            ).validate()
+
+    def test_out_of_range_column(self):
+        with pytest.raises(ValueError, match="column index"):
+            EllMatrix(
+                col_indices=np.array([[5]], dtype=np.int64),
+                values=np.ones((1, 1)),
+                shape=(1, 2),
+            ).validate()
+
+    def test_interior_padding_rejected(self):
+        bad = EllMatrix(
+            col_indices=np.array([[PAD, 1]], dtype=np.int64),
+            values=np.array([[0.0, 1.0]]),
+            shape=(1, 2),
+        )
+        with pytest.raises(ValueError, match="trailing"):
+            bad.validate()

@@ -1,0 +1,61 @@
+"""Tests for the CSR graph view."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.graph import CsrGraph, random_graph
+
+
+def _tiny_graph() -> CsrGraph:
+    #   0 -> 1 (w=1), 0 -> 2 (w=4), 1 -> 2 (w=2), 2 -> 0 (w=3)
+    dense = np.array(
+        [[0.0, 1.0, 4.0], [0.0, 0.0, 2.0], [3.0, 0.0, 0.0]]
+    )
+    return CsrGraph(CsrMatrix.from_dense(dense))
+
+
+class TestAccessors:
+    def test_sizes(self):
+        g = _tiny_graph()
+        assert g.num_vertices == 3
+        assert g.num_edges == 4
+
+    def test_neighbors_and_degrees(self):
+        g = _tiny_graph()
+        np.testing.assert_array_equal(g.neighbors(0), [1, 2])
+        assert g.out_degree(0) == 2
+        assert g.out_degree(1) == 1
+        np.testing.assert_array_equal(g.out_degrees(), [2, 1, 1])
+
+    def test_edge_accessors_listing5(self):
+        g = _tiny_graph()
+        # Global edge ids follow CSR order: (0,1), (0,2), (1,2), (2,0).
+        assert g.get_neighbor(1) == 2
+        assert g.get_edge_weight(1) == 4.0
+        assert g.get_source(0) == 0
+        assert g.get_source(2) == 1
+        assert g.get_source(3) == 2
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            CsrGraph(CsrMatrix.from_dense(np.ones((2, 3))))
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self):
+        nx = pytest.importorskip("networkx")
+        g = _tiny_graph()
+        ng = g.to_networkx()
+        assert ng.number_of_nodes() == 3
+        assert ng.number_of_edges() == 4
+        assert ng[0][2]["weight"] == 4.0
+
+    def test_random_graph_properties(self):
+        g = random_graph(200, 5.0, seed=1)
+        assert g.num_vertices == 200
+        assert 0 < g.num_edges < 200 * 20
+        assert g.csr.values.min() > 0  # positive weights for SSSP
+
+    def test_random_graph_deterministic(self):
+        assert random_graph(50, 3.0, seed=9).csr == random_graph(50, 3.0, seed=9).csr

@@ -1,0 +1,78 @@
+"""Tests for the experiment harness."""
+
+import csv
+
+import pytest
+
+from repro.evaluation.harness import (
+    SPMV_KERNELS,
+    run_spmv_kernel,
+    run_spmv_suite,
+    write_csv,
+)
+from repro.sparse.corpus import load_dataset
+
+
+class TestRunKernel:
+    @pytest.mark.parametrize("kernel", SPMV_KERNELS)
+    def test_every_kernel_runs_and_validates(self, kernel):
+        ds = load_dataset("tiny_power_256", "smoke")
+        row = run_spmv_kernel(kernel, ds)
+        assert row.kernel == kernel
+        assert row.dataset == ds.name
+        assert row.rows == ds.rows and row.cols == ds.cols and row.nnzs == ds.nnz
+        assert row.elapsed > 0
+        assert 0 <= row.meta["simt_efficiency"] <= 1
+
+    def test_unknown_kernel(self):
+        ds = load_dataset("tiny_diag_32", "smoke")
+        with pytest.raises(KeyError, match="unknown kernel"):
+            run_spmv_kernel("fictional", ds)
+
+    def test_heuristic_records_choice(self):
+        ds = load_dataset("tiny_uniform_64", "smoke")
+        row = run_spmv_kernel("heuristic", ds)
+        assert row.meta["schedule"] in {
+            "thread_mapped",
+            "group_mapped",
+            "merge_path",
+        }
+
+
+class TestSuite:
+    def test_limit_and_kernel_grid(self):
+        rows = run_spmv_suite(["merge_path", "cub"], scale="smoke", limit=4)
+        assert len(rows) == 8
+        assert {r.kernel for r in rows} == {"merge_path", "cub"}
+
+    def test_explicit_datasets(self):
+        ds = [load_dataset("tiny_diag_32", "smoke")]
+        rows = run_spmv_suite(["cusparse"], datasets=ds)
+        assert len(rows) == 1
+
+    def test_deterministic(self):
+        a = run_spmv_suite(["merge_path"], scale="smoke", limit=3)
+        b = run_spmv_suite(["merge_path"], scale="smoke", limit=3)
+        assert [(r.dataset, r.elapsed) for r in a] == [
+            (r.dataset, r.elapsed) for r in b
+        ]
+
+
+class TestCsv:
+    def test_paper_schema(self, tmp_path):
+        rows = run_spmv_suite(["merge_path"], scale="smoke", limit=3)
+        path = write_csv(rows, tmp_path / "out" / "results.csv")
+        with open(path) as fh:
+            reader = csv.DictReader(fh)
+            assert reader.fieldnames == [
+                "kernel",
+                "dataset",
+                "rows",
+                "cols",
+                "nnzs",
+                "elapsed",
+            ]
+            parsed = list(reader)
+        assert len(parsed) == 3
+        assert parsed[0]["kernel"] == "merge_path"
+        assert float(parsed[0]["elapsed"]) > 0

@@ -1,0 +1,59 @@
+"""Tests for the Section 6.2 schedule-selection heuristic."""
+
+import pytest
+
+from repro.core.heuristic import DEFAULT_HEURISTIC, HeuristicParams, select_schedule
+from repro.sparse import generators as gen
+
+
+class TestPaperRule:
+    def test_large_matrix_uses_merge_path(self):
+        m = gen.poisson_random(5000, 5000, 10.0, seed=0)
+        assert select_schedule(m) == "merge_path"
+
+    def test_large_nnz_uses_merge_path_even_if_narrow(self):
+        # rows < alpha but nnz >= beta: the conjunct fails -> merge-path.
+        m = gen.uniform_random(400, 400, 50, seed=0)  # 20k nnz >= beta
+        assert select_schedule(m) == "merge_path"
+
+    def test_small_uniform_uses_thread_mapped(self):
+        m = gen.uniform_random(100, 100, 2, seed=0)
+        assert select_schedule(m) == "thread_mapped"
+
+    def test_small_skewed_uses_group_mapped(self):
+        m = gen.dense_row_outliers(300, 300, 2, 3, 80, seed=0)
+        assert select_schedule(m) == "group_mapped"
+
+    def test_single_column_uses_thread_mapped(self):
+        # The sparse-vector case (CUB's own heuristic agrees).
+        m = gen.single_column(400, 0.5, seed=0)
+        assert select_schedule(m) == "thread_mapped"
+
+    def test_diagonal_uses_thread_mapped(self):
+        m = gen.diagonal(100, seed=0)
+        assert select_schedule(m) == "thread_mapped"
+
+
+class TestThresholds:
+    def test_alpha_boundary(self):
+        params = HeuristicParams(alpha=500, beta=10_000)
+        m = gen.uniform_random(499, 600, 2, seed=1)  # rows < alpha
+        assert select_schedule(m, params) == "thread_mapped"
+        m2 = gen.uniform_random(500, 600, 2, seed=1)  # neither dim < alpha
+        assert select_schedule(m2, params) == "merge_path"
+
+    def test_beta_boundary(self):
+        params = HeuristicParams(alpha=500, beta=100)
+        m = gen.uniform_random(100, 100, 2, seed=1)  # nnz=200 >= beta
+        assert select_schedule(m, params) == "merge_path"
+
+    def test_custom_cutoffs_flip_branch(self):
+        m = gen.uniform_random(100, 100, 3, seed=1)
+        eager = HeuristicParams(uniform_mean_cutoff=100.0, uniform_cv_cutoff=10.0)
+        strict = HeuristicParams(uniform_mean_cutoff=0.5)
+        assert select_schedule(m, eager) == "thread_mapped"
+        assert select_schedule(m, strict) == "group_mapped"
+
+    def test_defaults_match_paper(self):
+        assert DEFAULT_HEURISTIC.alpha == 500
+        assert DEFAULT_HEURISTIC.beta == 10_000

@@ -1,0 +1,90 @@
+"""Tests for the iterator vocabulary (repro.core.iterators)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.iterators import (
+    ArrayIterator,
+    ConstantIterator,
+    CountingIterator,
+    TransformIterator,
+    ZipIterator,
+    counting_iterator,
+    make_transform_iterator,
+)
+
+indices = st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=64)
+
+
+class TestCountingIterator:
+    def test_scalar(self):
+        it = counting_iterator(5)
+        assert it[0] == 5
+        assert it[10] == 15
+
+    @given(st.integers(-100, 100), indices)
+    def test_vectorized_matches_scalar(self, first, idx):
+        it = CountingIterator(first)
+        arr = it[np.array(idx)]
+        assert list(arr) == [it[i] for i in idx]
+
+    def test_offset_add(self):
+        assert (CountingIterator(3) + 4)[0] == 7
+
+    def test_slice_rejected(self):
+        with pytest.raises(TypeError):
+            CountingIterator(0)[1:3]
+
+
+class TestTransformIterator:
+    def test_listing1_atoms_per_tile(self):
+        # The paper's CSR atoms-per-tile iterator (Listing 1).
+        row_offsets = np.array([0, 2, 2, 7, 9])
+        it = make_transform_iterator(
+            counting_iterator(0), lambda i: row_offsets[i + 1] - row_offsets[i]
+        )
+        assert [it[i] for i in range(4)] == [2, 0, 5, 2]
+
+    @given(indices)
+    def test_vectorized_matches_scalar(self, idx):
+        it = TransformIterator(CountingIterator(0), lambda i: i * 3 + 1)
+        arr = it[np.array(idx)]
+        assert list(arr) == [it[i] for i in idx]
+
+    def test_composition(self):
+        inner = TransformIterator(CountingIterator(0), lambda i: i * 2)
+        outer = TransformIterator(inner, lambda v: v + 1)
+        assert outer[5] == 11
+
+
+class TestConstantIterator:
+    def test_scalar(self):
+        assert ConstantIterator(42)[999] == 42
+
+    def test_vectorized_shape(self):
+        out = ConstantIterator(7)[np.arange(5)]
+        np.testing.assert_array_equal(out, np.full(5, 7))
+
+
+class TestArrayIterator:
+    def test_wraps_array(self):
+        it = ArrayIterator([10, 20, 30])
+        assert it[1] == 20
+        assert len(it) == 3
+
+    @given(indices)
+    def test_vectorized_gather(self, idx):
+        base = np.arange(10_001) * 2
+        it = ArrayIterator(base)
+        np.testing.assert_array_equal(it[np.array(idx)], base[idx])
+
+
+class TestZipIterator:
+    def test_tuple_deref(self):
+        z = ZipIterator(CountingIterator(0), ConstantIterator("x"))
+        assert z[3] == (3, "x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ZipIterator()

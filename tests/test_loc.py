@@ -1,0 +1,104 @@
+"""Tests for the Table 1 lines-of-code measurement."""
+
+import pytest
+
+from repro.evaluation.loc import (
+    PAPER_TABLE1,
+    count_loc,
+    source_loc,
+    table1_rows,
+)
+
+
+class TestCountLoc:
+    def test_excludes_blanks_and_comments(self):
+        src = """x = 1
+
+# a comment
+y = 2  # trailing comment
+"""
+        assert count_loc(src) == 2
+
+    def test_excludes_docstrings(self):
+        src = '''def f():
+    """Docstring line.
+
+    More docstring.
+    """
+    return 1
+'''
+        assert count_loc(src) == 2  # def + return
+
+    def test_multiline_statement_counts_each_line(self):
+        src = "x = (1 +\n     2 +\n     3)\n"
+        assert count_loc(src) == 3
+
+    def test_string_assignment_not_docstring(self):
+        src = 'x = "hello"\n'
+        assert count_loc(src) == 1
+
+    def test_empty(self):
+        assert count_loc("") == 0
+        assert count_loc("# only comments\n\n") == 0
+
+
+class TestSourceLoc:
+    def test_counts_function(self):
+        def sample():
+            """Doc."""
+            a = 1
+            return a
+
+        n = source_loc(sample)
+        assert n == 3  # def, a = 1, return
+
+    def test_larger_than_zero_for_schedules(self):
+        from repro.core.schedules.merge_path import merge_path_partition
+
+        assert source_loc(merge_path_partition) > 5
+
+
+class TestTable1:
+    def test_all_paper_rows_present(self):
+        rows = table1_rows()
+        assert {r.algorithm for r in rows} == set(PAPER_TABLE1)
+
+    def test_measured_positive(self):
+        for row in table1_rows():
+            assert row.measured_ours > 0
+
+    def test_paper_numbers_recorded(self):
+        rows = {r.algorithm: r for r in table1_rows()}
+        assert rows["merge_path"].paper_cub == 503
+        assert rows["merge_path"].paper_ours == 36
+        assert rows["thread_mapped"].paper_cub == 22
+        assert rows["group_mapped"].paper_cub is None
+
+    def test_merge_path_heavier_than_thread_mapped(self):
+        # The qualitative Table 1 story: merge-path costs more schedule
+        # code than thread-mapped, but far less than a hardwired kernel.
+        rows = {r.algorithm: r for r in table1_rows()}
+        assert rows["merge_path"].measured_ours > rows["thread_mapped"].measured_ours
+
+    def test_warp_block_nearly_free(self):
+        # Paper: warp- and block-mapped reuse the group machinery ("free").
+        rows = {r.algorithm: r for r in table1_rows()}
+        assert rows["warp_mapped"].measured_incremental <= 5
+        assert rows["block_mapped"].measured_incremental <= 5
+
+    def test_hardwired_baseline_much_larger(self):
+        """The headline 14x claim, measured on this repo: the hardwired
+        CUB-style SpMV file is much larger than the merge-path schedule's
+        kernel-contributing code."""
+        import sys
+        from pathlib import Path
+
+        import repro.baselines.cub_spmv  # noqa: F401  (ensure imported)
+
+        path = Path(sys.modules["repro.baselines.cub_spmv"].__file__)
+        hardwired = count_loc(path.read_text())
+        rows = {r.algorithm: r for r in table1_rows()}
+        # (The paper's 14x gap comes from CUB's fused dispatch machinery;
+        # our hardwired model shares the simulator's folding helpers, so
+        # the measured gap is smaller but still decisively > 1.)
+        assert hardwired > 1.2 * rows["merge_path"].measured_ours

@@ -1,0 +1,92 @@
+"""Tests for imbalance metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import gini, imbalance_report, peak_to_mean
+
+nonneg = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_owner_near_one(self):
+        v = np.zeros(1000)
+        v[0] = 1.0
+        assert gini(v) == pytest.approx(1.0, abs=2e-3)
+
+    def test_known_value(self):
+        # For [0, 1]: G = 0.5.
+        assert gini(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_all_zero(self):
+        assert gini(np.zeros(5)) == 0.0
+
+    def test_empty(self):
+        assert gini(np.array([])) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini(np.array([-1.0, 2.0]))
+
+    @given(nonneg)
+    def test_bounded(self, vals):
+        g = gini(np.array(vals))
+        assert -1e-9 <= g <= 1.0 + 1e-9
+
+    @given(nonneg)
+    def test_scale_invariant(self, vals):
+        v = np.array(vals)
+        if v.sum() == 0:
+            return
+        assert gini(v) == pytest.approx(gini(v * 3.7), abs=1e-9)
+
+
+class TestPeakToMean:
+    def test_uniform_is_one(self):
+        assert peak_to_mean(np.full(10, 4.0)) == pytest.approx(1.0)
+
+    def test_straggler(self):
+        assert peak_to_mean(np.array([1.0, 1.0, 10.0])) == pytest.approx(2.5)
+
+    def test_degenerate(self):
+        assert peak_to_mean(np.array([])) == 1.0
+        assert peak_to_mean(np.zeros(4)) == 1.0
+
+
+class TestImbalanceReport:
+    def test_balanced_detection(self):
+        rep = imbalance_report(np.full(64, 5.0))
+        assert rep.is_balanced()
+        assert rep.cv == 0.0
+        assert rep.zero_fraction == 0.0
+
+    def test_skewed_detection(self):
+        v = np.ones(64)
+        v[0] = 1000.0
+        rep = imbalance_report(v)
+        assert not rep.is_balanced()
+        assert rep.peak_to_mean > 10
+
+    def test_zero_fraction(self):
+        rep = imbalance_report(np.array([0.0, 0.0, 1.0, 3.0]))
+        assert rep.zero_fraction == pytest.approx(0.5)
+
+    def test_empty_input(self):
+        rep = imbalance_report(np.array([]))
+        assert rep.count == 0
+        assert rep.peak_to_mean == 1.0
+
+    @given(nonneg)
+    def test_fields_consistent(self, vals):
+        v = np.array(vals)
+        rep = imbalance_report(v)
+        assert rep.count == v.size
+        assert rep.mean == pytest.approx(v.mean())
+        if rep.mean > 0:
+            assert rep.cv == pytest.approx(rep.std / rep.mean)

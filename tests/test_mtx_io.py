@@ -1,0 +1,156 @@
+"""Tests for MatrixMarket IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.mtx_io import MtxFormatError, read_mtx, write_mtx
+from repro.sparse import generators as gen
+
+
+def _roundtrip(matrix, **kwargs):
+    buf = io.StringIO()
+    write_mtx(buf, matrix, **kwargs)
+    buf.seek(0)
+    return read_mtx(buf)
+
+
+class TestRoundTrip:
+    def test_real_general(self):
+        m = gen.poisson_random(20, 15, 3.0, seed=1)
+        back = coo_to_csr(_roundtrip(m))
+        np.testing.assert_allclose(back.to_dense(), m.to_dense())
+
+    def test_pattern(self):
+        m = gen.uniform_random(10, 10, 2, seed=2)
+        back = _roundtrip(m, field="pattern")
+        assert back.nnz == m.nnz
+        assert np.all(back.values == 1.0)
+
+    def test_integer(self):
+        from repro.sparse.csr import CsrMatrix
+
+        m = CsrMatrix.from_dense(np.array([[3.0, 0], [0, -7.0]]))
+        back = _roundtrip(m, field="integer")
+        np.testing.assert_array_equal(back.to_dense(), m.to_dense())
+
+    def test_comment_written(self):
+        buf = io.StringIO()
+        write_mtx(buf, gen.diagonal(3), comment="hello\nworld")
+        text = buf.getvalue()
+        assert "% hello" in text and "% world" in text
+        buf.seek(0)
+        assert read_mtx(buf).nnz == 3
+
+
+class TestSymmetry:
+    def test_symmetric_expansion(self):
+        text = """%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 5.0
+2 1 1.0
+3 2 2.0
+"""
+        coo = read_mtx(io.StringIO(text))
+        assert coo.nnz == 5  # diagonal kept once, off-diagonals mirrored
+        d = coo.to_dense()
+        np.testing.assert_allclose(d, d.T)
+        assert d[0, 1] == 1.0 and d[1, 0] == 1.0
+
+    def test_skew_symmetric(self):
+        text = """%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+"""
+        d = read_mtx(io.StringIO(text)).to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+
+class TestArrayFormat:
+    def test_general_column_major(self):
+        text = """%%MatrixMarket matrix array real general
+2 2
+1.0
+2.0
+3.0
+4.0
+"""
+        d = read_mtx(io.StringIO(text)).to_dense()
+        np.testing.assert_allclose(d, [[1.0, 3.0], [2.0, 4.0]])
+
+    def test_symmetric_lower_packed(self):
+        text = """%%MatrixMarket matrix array real symmetric
+2 2
+1.0
+2.0
+3.0
+"""
+        d = read_mtx(io.StringIO(text)).to_dense()
+        np.testing.assert_allclose(d, [[1.0, 2.0], [2.0, 3.0]])
+
+    def test_wrong_entry_count(self):
+        text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n"
+        with pytest.raises(MtxFormatError, match="expected"):
+            read_mtx(io.StringIO(text))
+
+
+class TestMalformedInputs:
+    """The artifact warns that mislabeled .mtx files raise runtime errors."""
+
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("not a matrix\n", "header"),
+            ("%%MatrixMarket tensor coordinate real general\n1 1 0\n", "malformed"),
+            ("%%MatrixMarket matrix weird real general\n1 1 0\n", "format"),
+            ("%%MatrixMarket matrix coordinate complex general\n1 1 0\n", "field"),
+            ("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n", "symmetry"),
+            ("%%MatrixMarket matrix coordinate real general\n", "size line"),
+            ("%%MatrixMarket matrix coordinate real general\n1 1\n", "size line"),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",
+                "out of bounds",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+                "declared",
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 oops\n",
+                "bad entry",
+            ),
+        ],
+    )
+    def test_raises_format_error(self, text, match):
+        with pytest.raises(MtxFormatError, match=match):
+            read_mtx(io.StringIO(text))
+
+    def test_extra_entries_detected(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n1 1 1.0\n2 2 2.0\n"
+        )
+        with pytest.raises(MtxFormatError, match="more than"):
+            read_mtx(io.StringIO(text))
+
+
+class TestCrossCheckScipy:
+    def test_matches_scipy_mmread(self, tmp_path):
+        scipy_io = pytest.importorskip("scipy.io")
+        m = gen.power_law(30, 30, 3.0, seed=5)
+        path = tmp_path / "m.mtx"
+        write_mtx(path, m)
+        theirs = scipy_io.mmread(str(path)).toarray()
+        np.testing.assert_allclose(theirs, m.to_dense())
+
+    def test_reads_scipy_written_file(self, tmp_path):
+        scipy_io = pytest.importorskip("scipy.io")
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        rng = np.random.default_rng(0)
+        dense = (rng.uniform(size=(12, 8)) < 0.3) * rng.uniform(size=(12, 8))
+        path = tmp_path / "s.mtx"
+        scipy_io.mmwrite(str(path), scipy_sparse.coo_matrix(dense))
+        ours = read_mtx(path)
+        np.testing.assert_allclose(ours.to_dense(), dense)

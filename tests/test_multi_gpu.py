@@ -1,0 +1,90 @@
+"""Tests for the multi-GPU future-work extension."""
+
+import numpy as np
+import pytest
+
+from repro.apps.common import spmv_costs
+from repro.core.work import WorkSpec
+from repro.gpusim.arch import V100
+from repro.gpusim.multi_gpu import multi_gpu_plan, partition_tiles
+from repro.sparse import generators as gen
+
+
+def _offsets(counts):
+    o = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=o[1:])
+    return o
+
+
+class TestPartition:
+    def test_tile_partition_equal_counts(self):
+        bounds = partition_tiles(_offsets([3] * 100), 4, "tiles")
+        np.testing.assert_array_equal(bounds, [0, 25, 50, 75, 100])
+
+    def test_merge_path_partition_balances_atoms(self):
+        # One mega-tile: the tiles strategy gives device 0 nearly all the
+        # atoms; merge-path isolates the giant.
+        counts = [10_000] + [1] * 99
+        offsets = _offsets(counts)
+        tiles_b = partition_tiles(offsets, 4, "tiles")
+        merge_b = partition_tiles(offsets, 4, "merge_path")
+        atoms = lambda b: np.diff(offsets[b])  # noqa: E731
+        assert atoms(tiles_b)[0] > 0.9 * offsets[-1]
+        assert atoms(merge_b).max() <= 1.05 * offsets[-1]  # trivially
+        assert atoms(merge_b)[0] < atoms(tiles_b)[0] or np.all(
+            atoms(merge_b) == atoms(tiles_b)
+        )
+
+    def test_boundaries_are_monotone_and_complete(self):
+        counts = list(np.random.default_rng(0).integers(0, 50, 200))
+        for strategy in ("tiles", "merge_path"):
+            b = partition_tiles(_offsets(counts), 5, strategy)
+            assert b[0] == 0 and b[-1] == 200
+            assert np.all(np.diff(b) >= 0)
+
+    def test_rejects_bad_device_count(self):
+        with pytest.raises(ValueError):
+            partition_tiles(_offsets([1]), 0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            partition_tiles(_offsets([1]), 2, "astrology")
+
+
+class TestMultiGpuPlan:
+    def _work(self):
+        return WorkSpec.from_csr(gen.power_law(8000, 8000, 10.0, 1.8, seed=0))
+
+    def test_plan_produces_per_device_stats(self):
+        plan = multi_gpu_plan(self._work(), spmv_costs(V100), num_devices=4)
+        assert plan.num_devices == 4
+        assert len(plan.device_stats) == 4
+        assert sum(a for a, _t in plan.shards) == self._work().num_atoms
+        assert plan.elapsed_ms > 0
+
+    def test_more_devices_help_large_workloads(self):
+        work = WorkSpec.from_csr(gen.uniform_random(60_000, 60_000, 32, seed=1))
+        costs = spmv_costs(V100)
+        t1 = multi_gpu_plan(work, costs, num_devices=1).elapsed_ms
+        t4 = multi_gpu_plan(work, costs, num_devices=4).elapsed_ms
+        assert t4 < t1
+
+    def test_merge_partition_beats_tiles_on_skew(self):
+        """The future-work claim made concrete: the paper's merge-path
+        schedule, applied across the GPU boundary, balances devices that
+        a naive tile split cannot."""
+        counts = np.concatenate([np.full(32, 100_000), np.full(50_000, 2)])
+        work = WorkSpec.from_counts(np.random.default_rng(2).permutation(counts))
+        costs = spmv_costs(V100)
+        naive = multi_gpu_plan(work, costs, num_devices=4, partition="tiles")
+        merged = multi_gpu_plan(work, costs, num_devices=4, partition="merge_path")
+        assert merged.device_imbalance <= naive.device_imbalance + 1e-9
+
+    def test_single_device_degenerate(self):
+        plan = multi_gpu_plan(self._work(), spmv_costs(V100), num_devices=1)
+        assert plan.device_imbalance == pytest.approx(1.0)
+
+    def test_imbalance_bounds(self):
+        plan = multi_gpu_plan(self._work(), spmv_costs(V100), num_devices=8)
+        assert plan.device_imbalance >= 1.0
+        assert plan.speedup_vs_slowest_possible >= 1.0

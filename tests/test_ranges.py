@@ -1,0 +1,118 @@
+"""Tests for the CUDA-enabled ranges (repro.core.ranges)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ranges import (
+    InfiniteRange,
+    StepRange,
+    block_stride_range,
+    grid_stride_range,
+    infinite_range,
+    step_range,
+    warp_stride_range,
+)
+
+
+class _Ctx:
+    def __init__(self, gtid, num_threads, thread_idx, block_dim, lane, ws):
+        self.global_thread_id = gtid
+        self.num_threads = num_threads
+        self.thread_idx = thread_idx
+        self.block_dim = block_dim
+        self.lane_id = lane
+        self.warp_size = ws
+
+
+range_args = st.tuples(
+    st.integers(-100, 100), st.integers(-100, 200), st.integers(1, 17)
+)
+
+
+class TestStepRange:
+    def test_iterates(self):
+        assert list(step_range(2, 10, 3)) == [2, 5, 8]
+
+    def test_fluent_step_matches_listing2(self):
+        # Listing 2: range(begin, end).step(stride)
+        r = StepRange(0, 10).step(4)
+        assert list(r) == [0, 4, 8]
+
+    def test_stride_alias_matches_listing4(self):
+        assert list(StepRange(0, 3).stride(1)) == [0, 1, 2]
+
+    def test_empty(self):
+        assert len(step_range(5, 5)) == 0
+        assert list(step_range(7, 3)) == []
+
+    def test_contains(self):
+        r = step_range(2, 20, 3)
+        assert 8 in r
+        assert 9 not in r
+        assert 20 not in r
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            step_range(0, 10, 0)
+
+    @given(range_args)
+    def test_len_matches_iteration(self, args):
+        b, e, s = args
+        r = StepRange(b, e, s)
+        assert len(r) == len(list(r))
+
+    @given(range_args)
+    def test_to_array_matches_iteration(self, args):
+        b, e, s = args
+        r = StepRange(b, e, s)
+        np.testing.assert_array_equal(r.to_array(), list(r))
+
+    def test_equality_and_hash(self):
+        assert step_range(0, 10, 2) == step_range(0, 10, 2)
+        assert step_range(0, 0) == step_range(5, 3)  # both empty
+        assert hash(step_range(4, 2)) == hash(step_range(9, 1))
+
+
+class TestInfiniteRange:
+    def test_take(self):
+        assert list(infinite_range(3, 2).take(4)) == [3, 5, 7, 9]
+
+    def test_take_zero(self):
+        assert list(infinite_range().take(0)) == []
+
+    def test_take_negative_rejected(self):
+        with pytest.raises(ValueError):
+            infinite_range().take(-1)
+
+    def test_persistent_kernel_loop(self):
+        # The persistent-kernel idiom: iterate until converged, then break.
+        seen = []
+        for i in InfiniteRange():
+            seen.append(i)
+            if i >= 5:
+                break
+        assert seen == [0, 1, 2, 3, 4, 5]
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            InfiniteRange(0, 0)
+
+
+class TestStrideRanges:
+    def test_grid_stride_partitions_work(self):
+        # Every element visited exactly once across the launch.
+        n_threads, end = 8, 45
+        seen = []
+        for t in range(n_threads):
+            ctx = _Ctx(t, n_threads, t, 8, t % 4, 4)
+            seen.extend(grid_stride_range(ctx, 0, end))
+        assert sorted(seen) == list(range(end))
+
+    def test_block_stride(self):
+        ctx = _Ctx(10, 64, 2, 8, 2, 4)
+        assert list(block_stride_range(ctx, 0, 20)) == [2, 10, 18]
+
+    def test_warp_stride(self):
+        ctx = _Ctx(10, 64, 2, 8, 2, 4)
+        assert list(warp_stride_range(ctx, 0, 12)) == [2, 6, 10]

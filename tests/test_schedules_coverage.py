@@ -1,0 +1,130 @@
+"""Property tests: every schedule is a *partition* of the work.
+
+The fundamental correctness invariant of the load-balancing stage
+(Section 3.2): whatever the schedule, the union of all threads' assigned
+(tile, atom) pairs covers every atom exactly once.  Violating it would
+silently corrupt every application built on top.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schedule import LaunchParams, available_schedules, make_schedule
+from repro.core.work import WorkSpec
+from repro.gpusim.arch import TINY_GPU
+
+from conftest import FakeCtx
+
+ALL_SCHEDULES = sorted(available_schedules())
+
+counts_strategy = st.lists(st.integers(0, 40), min_size=1, max_size=60)
+launch_strategy = st.sampled_from(
+    [(1, 4), (1, 8), (2, 8), (4, 8), (3, 16), (2, 32)]
+)
+
+
+def _collect_nested(sched, launch: LaunchParams):
+    atoms: dict[int, int] = {}
+    tiles_seen = set()
+    for t in range(launch.num_threads):
+        ctx = FakeCtx(t, launch.num_threads, launch.block_dim, TINY_GPU.warp_size)
+        for tile in sched.tiles(ctx):
+            tiles_seen.add(tile)
+            for atom in sched.atoms(ctx, tile):
+                atoms[atom] = atoms.get(atom, 0) + 1
+    return atoms, tiles_seen
+
+
+def _collect_flat(sched, launch: LaunchParams):
+    atoms: dict[int, int] = {}
+    pairs = []
+    for t in range(launch.num_threads):
+        ctx = FakeCtx(t, launch.num_threads, launch.block_dim, TINY_GPU.warp_size)
+        for tile, atom in sched.flat_atoms(ctx):
+            atoms[atom] = atoms.get(atom, 0) + 1
+            pairs.append((tile, atom))
+    return atoms, pairs
+
+
+@pytest.mark.parametrize("name", ALL_SCHEDULES)
+@given(counts=counts_strategy, launch_dims=launch_strategy)
+@settings(max_examples=25, deadline=None)
+def test_nested_view_covers_every_atom_exactly_once(name, counts, launch_dims):
+    work = WorkSpec.from_counts(counts)
+    launch = LaunchParams(*launch_dims)
+    sched = make_schedule(name, work, TINY_GPU, launch)
+    atoms, _tiles = _collect_nested(sched, launch)
+    assert len(atoms) == work.num_atoms
+    assert all(v == 1 for v in atoms.values()), f"{name}: duplicated atoms"
+
+
+@pytest.mark.parametrize("name", ALL_SCHEDULES)
+@given(counts=counts_strategy, launch_dims=launch_strategy)
+@settings(max_examples=15, deadline=None)
+def test_flat_view_covers_every_atom_exactly_once(name, counts, launch_dims):
+    work = WorkSpec.from_counts(counts)
+    launch = LaunchParams(*launch_dims)
+    sched = make_schedule(name, work, TINY_GPU, launch)
+    atoms, pairs = _collect_flat(sched, launch)
+    assert len(atoms) == work.num_atoms
+    assert all(v == 1 for v in atoms.values())
+    # get_tile consistency: the flat stream's tile matches the owner.
+    for tile, atom in pairs:
+        lo, hi = work.atom_range(tile)
+        assert lo <= atom < hi, f"{name}: atom {atom} not in tile {tile}"
+
+
+@pytest.mark.parametrize("name", ALL_SCHEDULES)
+def test_nonempty_tiles_all_visited(name):
+    work = WorkSpec.from_counts([3, 0, 7, 1, 0, 2, 9, 1])
+    launch = LaunchParams(2, 8)
+    sched = make_schedule(name, work, TINY_GPU, launch)
+    _atoms, tiles = _collect_nested(sched, launch)
+    nonempty = {i for i in range(work.num_tiles) if work.atoms_per_tile()[i] > 0}
+    assert nonempty <= tiles, f"{name}: missed non-empty tiles {nonempty - tiles}"
+
+
+@pytest.mark.parametrize("name", ALL_SCHEDULES)
+def test_empty_workload(name):
+    work = WorkSpec.from_counts([0, 0, 0])
+    launch = LaunchParams(1, 8)
+    sched = make_schedule(name, work, TINY_GPU, launch)
+    atoms, _ = _collect_nested(sched, launch)
+    assert atoms == {}
+
+
+@pytest.mark.parametrize("name", ALL_SCHEDULES)
+def test_single_huge_tile(name):
+    work = WorkSpec.from_counts([500])
+    launch = LaunchParams(2, 8)
+    sched = make_schedule(name, work, TINY_GPU, launch)
+    atoms, _ = _collect_nested(sched, launch)
+    assert len(atoms) == 500
+
+
+@pytest.mark.parametrize("name", ALL_SCHEDULES)
+def test_more_threads_than_work(name):
+    work = WorkSpec.from_counts([1, 2])
+    launch = LaunchParams(4, 32)
+    sched = make_schedule(name, work, TINY_GPU, launch)
+    atoms, _ = _collect_nested(sched, launch)
+    assert len(atoms) == 3
+    assert all(v == 1 for v in atoms.values())
+
+
+class TestOwnership:
+    """owns_tile_fully must be consistent with the assigned atom ranges."""
+
+    @pytest.mark.parametrize("name", ["merge_path", "nonzero_split"])
+    def test_full_ownership_matches_ranges(self, name):
+        work = WorkSpec.from_counts([4, 1, 0, 9, 2, 2, 7])
+        launch = LaunchParams(2, 8)
+        sched = make_schedule(name, work, TINY_GPU, launch)
+        for t in range(launch.num_threads):
+            ctx = FakeCtx(t, launch.num_threads, 8, TINY_GPU.warp_size)
+            for tile in sched.tiles(ctx):
+                lo, hi = work.atom_range(tile)
+                assigned = list(sched.atoms(ctx, tile))
+                if sched.owns_tile_fully(ctx, tile):
+                    assert assigned == list(range(lo, hi))

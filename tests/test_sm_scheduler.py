@@ -1,0 +1,95 @@
+"""Tests for the oversubscribed SM block scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.arch import TINY_GPU, V100, GpuSpec
+from repro.gpusim.sm_scheduler import block_cycles_from_warps, schedule_blocks
+
+block_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=300
+)
+
+
+class TestBlockCyclesFromWarps:
+    def test_critical_path_dominates_single_warp(self):
+        wc = np.array([[100.0, 1.0, 1.0, 1.0]])
+        out = block_cycles_from_warps(wc, V100)
+        assert out[0] == pytest.approx(100.0)
+
+    def test_bandwidth_dominates_many_equal_warps(self):
+        wc = np.full((1, 8), 10.0)  # 8 warps, 4 schedulers -> 20 cycles
+        out = block_cycles_from_warps(wc, V100)
+        assert out[0] == pytest.approx(20.0)
+
+    def test_1d_input_promoted(self):
+        out = block_cycles_from_warps(np.array([5.0, 7.0]), V100)
+        assert out.shape == (2,)
+
+
+class TestScheduleBlocks:
+    def test_empty_launch(self):
+        out = schedule_blocks(np.array([]), 32, TINY_GPU)
+        assert out.makespan_cycles == 0.0
+        assert out.num_blocks == 0
+
+    def test_single_wave_makespan_is_max(self):
+        cycles = np.array([5.0, 9.0, 3.0])
+        out = schedule_blocks(cycles, 32, TINY_GPU)
+        assert out.makespan_cycles == pytest.approx(9.0)
+
+    def test_uniform_fast_path_waves(self):
+        spec = TINY_GPU
+        slots = spec.resident_blocks_per_sm(32) * spec.num_sms
+        cycles = np.full(3 * slots, 7.0)
+        out = schedule_blocks(cycles, 32, spec)
+        assert out.makespan_cycles == pytest.approx(21.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            schedule_blocks(np.array([-1.0]), 32, TINY_GPU)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            schedule_blocks(np.zeros((2, 2)), 32, TINY_GPU)
+
+    def test_oversubscription_backfills(self):
+        # One long block and many short ones: greedy scheduling should
+        # overlap the short ones with the long one, not serialize.
+        spec = GpuSpec(
+            name="2SLOT",
+            num_sms=1,
+            warp_size=4,
+            max_threads_per_block=32,
+            max_resident_warps_per_sm=16,
+            max_resident_blocks_per_sm=2,
+            warp_schedulers_per_sm=2,
+            clock_ghz=1.0,
+        )
+        cycles = np.array([100.0] + [10.0] * 10)
+        out = schedule_blocks(cycles, 4, spec)
+        assert out.makespan_cycles == pytest.approx(100.0)
+
+    @given(block_lists)
+    def test_makespan_bounds(self, blocks):
+        cycles = np.array(blocks)
+        out = schedule_blocks(cycles, 32, TINY_GPU)
+        # Lower bounds: the longest block, and total work / slot count.
+        assert out.makespan_cycles >= cycles.max() - 1e-9
+        assert out.makespan_cycles >= cycles.sum() / out.num_slots - 1e-6
+        # Upper bound: greedy list scheduling is within (2 - 1/m) of optimal,
+        # so certainly <= total (serial execution).
+        assert out.makespan_cycles <= cycles.sum() + 1e-6
+
+    @given(block_lists)
+    def test_utilization_bounded(self, blocks):
+        out = schedule_blocks(np.array(blocks), 32, TINY_GPU)
+        assert 0.0 <= out.utilization <= 1.0
+        assert 0.0 <= out.tail_fraction <= 1.0
+
+    def test_makespan_monotone_in_workload(self):
+        base = np.array([10.0, 20.0, 30.0] * 20)
+        out1 = schedule_blocks(base, 32, TINY_GPU)
+        out2 = schedule_blocks(base * 2, 32, TINY_GPU)
+        assert out2.makespan_cycles >= out1.makespan_cycles

@@ -1,0 +1,103 @@
+"""Tests for the work definition stage (repro.core.work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.work import WorkSpec
+from repro.sparse.convert import csr_to_coo, csr_to_csc
+from repro.sparse import generators as gen
+
+counts_lists = st.lists(st.integers(0, 50), min_size=1, max_size=100)
+
+
+class TestConstruction:
+    def test_from_counts(self):
+        w = WorkSpec.from_counts([2, 0, 5, 1])
+        assert w.num_tiles == 4
+        assert w.num_atoms == 8
+        np.testing.assert_array_equal(w.tile_offsets, [0, 2, 2, 7, 8])
+
+    def test_from_offsets(self):
+        w = WorkSpec.from_offsets([0, 3, 3, 4])
+        assert w.num_tiles == 3
+        assert w.num_atoms == 4
+
+    def test_from_csr_zero_copy_semantics(self):
+        m = gen.poisson_random(30, 30, 3.0, seed=1)
+        w = WorkSpec.from_csr(m, "demo")
+        assert w.tile_offsets is m.row_offsets  # CSR offsets reused directly
+        assert w.num_tiles == m.num_rows
+        assert w.num_atoms == m.nnz
+        assert w.label == "demo"
+
+    def test_from_csc(self):
+        m = gen.poisson_random(20, 10, 3.0, seed=2)
+        csc = csr_to_csc(m)
+        w = WorkSpec.from_csc(csc)
+        assert w.num_tiles == 10
+        assert w.num_atoms == m.nnz
+
+    def test_from_coo_requires_sorted(self):
+        m = gen.poisson_random(20, 20, 2.0, seed=3)
+        coo = csr_to_coo(m)
+        w = WorkSpec.from_coo(coo)
+        assert w.num_atoms == m.nnz
+        # Shuffle destroys the contiguity invariant.
+        if coo.nnz > 1:
+            import dataclasses
+
+            shuffled = dataclasses.replace(coo, rows=coo.rows[::-1].copy())
+            with pytest.raises(ValueError, match="sorted"):
+                WorkSpec.from_coo(shuffled)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            WorkSpec.from_counts([[1, 2]])
+        with pytest.raises(ValueError):
+            WorkSpec.from_counts([1, -2])
+        with pytest.raises(ValueError):
+            WorkSpec.from_offsets([1, 2])
+        with pytest.raises(ValueError):
+            WorkSpec.from_offsets([0, 3, 2])
+
+
+class TestPaperIterators:
+    def test_three_iterators_of_listing1(self):
+        w = WorkSpec.from_counts([2, 0, 3])
+        assert w.atoms_iter[0] == 0
+        assert w.tiles_iter[2] == 2
+        assert [w.atoms_per_tile_iter[i] for i in range(3)] == [2, 0, 3]
+
+    @given(counts_lists)
+    def test_atoms_per_tile_iter_matches_array(self, counts):
+        w = WorkSpec.from_counts(counts)
+        per_tile = w.atoms_per_tile()
+        for i in range(w.num_tiles):
+            assert w.atoms_per_tile_iter[i] == per_tile[i]
+
+
+class TestQueries:
+    @given(counts_lists)
+    def test_tile_of_atom_inverts_ranges(self, counts):
+        w = WorkSpec.from_counts(counts)
+        for tile in range(w.num_tiles):
+            lo, hi = w.atom_range(tile)
+            if hi > lo:
+                atoms = np.arange(lo, hi)
+                np.testing.assert_array_equal(
+                    w.tile_of_atom(atoms), np.full(hi - lo, tile)
+                )
+
+    def test_atom_range_bounds(self):
+        w = WorkSpec.from_counts([1, 2])
+        with pytest.raises(IndexError):
+            w.atom_range(2)
+        with pytest.raises(IndexError):
+            w.atom_range(-1)
+
+    def test_equal_cost_assumption_documented(self):
+        # Section 3.1: all atoms are assumed equal cost -- the WorkSpec has
+        # no per-atom weight field by design.
+        w = WorkSpec.from_counts([3])
+        assert not hasattr(w, "atom_weights")
