@@ -1,3 +1,10 @@
+"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+All metadata lives in ``pyproject.toml``; setuptools >= 61 reads it from
+there.  Environments without the ``wheel`` package need this file for
+the non-PEP-517 editable path.
+"""
+
 from setuptools import setup
 
 setup()

@@ -18,6 +18,8 @@ Packages:
 * :mod:`repro.sparse` -- CSR/CSC/COO formats, MatrixMarket IO, corpus;
 * :mod:`repro.core` -- the load-balancing abstraction (iterators, ranges,
   work specs, schedules, heuristic);
+* :mod:`repro.engine` -- the unified execution layer (app registry,
+  vector/SIMT engine dispatch, plan cache, deterministic seeding);
 * :mod:`repro.apps` -- SpMV/SpMM/SpGEMM, BFS/SSSP, PageRank, triangles;
 * :mod:`repro.baselines` -- hardwired CUB and vendor-model comparators;
 * :mod:`repro.evaluation` -- the harness for every table and figure.
@@ -33,6 +35,7 @@ from .core import (
     make_schedule,
     select_schedule,
 )
+from .engine import available_apps, get_app, run_app
 from .gpusim import AMD_WARP64, TINY_GPU, V100, GpuSpec, KernelStats
 from .sparse import (
     CooMatrix,
@@ -63,6 +66,9 @@ __all__ = [
     "available_schedules",
     "make_schedule",
     "select_schedule",
+    "available_apps",
+    "get_app",
+    "run_app",
     "AMD_WARP64",
     "TINY_GPU",
     "V100",

@@ -1,15 +1,19 @@
 """``repro.apps`` -- applications built on the load-balancing abstraction.
 
-Every application here consumes schedules through the public API only --
-switching the load balancer is a one-identifier change, the paper's core
-usability claim.  SpMV is the evaluation benchmark; SpMM/SpGEMM, BFS/SSSP,
-PageRank and triangle counting reproduce the paper's Section 5.3
-application space.
+Every application here is *declared once* -- work definition, cost
+model, vectorized result, SIMT kernel body, oracle -- and registered
+with the :mod:`repro.engine` registry, which owns all execution.
+Switching the load balancer or the execution engine is a one-identifier
+change, the paper's core usability claim.  SpMV is the evaluation
+benchmark; SpMM/SpGEMM, BFS/SSSP, PageRank, triangle counting, MTTKRP
+and the degree histogram reproduce the paper's Section 5.3 application
+space; importing this package registers them all (see
+:func:`repro.engine.available_apps`).
 """
 
 from .bfs import bfs, bfs_reference
 from .common import AppResult, spmv_costs
-from .histogram import degree_histogram
+from .histogram import degree_histogram, degree_histogram_reference
 from .operators import FrontierResult, advance, compute, filter_frontier
 from .pagerank import pagerank, pagerank_reference
 from .spgemm import spgemm, spgemm_reference
@@ -26,6 +30,7 @@ __all__ = [
     "bfs",
     "bfs_reference",
     "degree_histogram",
+    "degree_histogram_reference",
     "FrontierResult",
     "advance",
     "compute",

@@ -9,15 +9,18 @@ graph kernels reduce to balanced neighborhood expansion.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
+from ..engine import AppSpec, Runtime, register_app, run_app
 from ..gpusim.arch import GpuSpec, V100
 from ..sparse.graph import CsrGraph
 from .common import AppResult
-from .traversal import run_frontier_loop
+from .traversal import graph_sweep_problem, run_frontier_loop
 
-__all__ = ["bfs", "bfs_reference"]
+__all__ = ["bfs", "bfs_reference", "bfs_driver"]
 
 UNVISITED = -1
 
@@ -47,10 +50,26 @@ def bfs(
     *,
     schedule: str | Schedule = "group_mapped",
     spec: GpuSpec = V100,
+    engine: str = "vector",
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
     """Load-balanced BFS on the simulated GPU; returns hop depths."""
+    problem = SimpleNamespace(graph=graph, source=source)
+    return run_app(
+        "bfs",
+        problem,
+        schedule=schedule,
+        engine=engine,
+        spec=spec,
+        launch=launch,
+        **schedule_options,
+    )
+
+
+def bfs_driver(problem, rt: Runtime) -> AppResult:
+    """The registered BFS declaration: the relaxation in both forms."""
+    graph, source = problem.graph, problem.source
     n = graph.num_vertices
     if not 0 <= source < n:
         raise ValueError(f"source {source} out of range for {n} vertices")
@@ -67,19 +86,36 @@ def bfs(
         next_mask[targets] = True
         return next_mask
 
+    def relax_edge(ctx, src, dst, weight, next_mask):
+        # Scalar Listing 5 body: claim unvisited neighbors with a CAS.
+        # The frontier is level-synchronous, so depth[src] is this
+        # iteration's level and the two relaxation forms agree exactly.
+        if depth[dst] == UNVISITED:
+            old = ctx.atomic_cas(depth, dst, UNVISITED, depth[src] + 1)
+            if old == UNVISITED:
+                next_mask[dst] = True
+
     iterations, stats = run_frontier_loop(
-        graph,
-        source,
-        relax,
-        schedule=schedule,
-        spec=spec,
-        launch=launch,
-        **schedule_options,
+        graph, source, relax, relax_edge=relax_edge, rt=rt
     )
-    sched_name = schedule if isinstance(schedule, str) else schedule.name
+    sched_name = rt.schedule if isinstance(rt.schedule, str) else rt.schedule.name
     return AppResult(
         output=depth,
         stats=stats,
         schedule=sched_name,
         extras={"iterations": len(iterations), "trace": iterations},
     )
+
+
+register_app(
+    AppSpec(
+        name="bfs",
+        driver=bfs_driver,
+        default_schedule="group_mapped",
+        oracle=lambda p: bfs_reference(p.graph, p.source),
+        sweep_problem=graph_sweep_problem,
+        match=lambda output, expected: bool(np.array_equal(output, expected)),
+        accepts=lambda matrix: matrix.num_rows == matrix.num_cols,
+        description="level-synchronous breadth-first search",
+    )
+)

@@ -1,18 +1,32 @@
-"""Shared plumbing for the application kernels.
+"""Shared vocabulary of the application layer.
 
-Applications in this package follow the paper's three-stage pattern:
+Applications in this package are *declarations*, not executors.  Each
+module declares, exactly once, the pieces the paper says an application
+should consist of, and registers them as an
+:class:`~repro.engine.registry.AppSpec`:
 
-1. build a :class:`~repro.core.work.WorkSpec` from the input format,
-2. instantiate a schedule by name (one-identifier switch, Section 6.2),
-3. consume the balanced ranges.
+1. how to build a :class:`~repro.core.work.WorkSpec` from the input
+   format (the work definition stage),
+2. a :class:`~repro.core.schedule.WorkCosts` cost model (what one atom /
+   one tile costs the machine),
+3. a vectorized functional result (NumPy; corpus scale),
+4. a per-thread SIMT kernel body written in the paper's range-based
+   pattern (ground truth; small inputs),
+5. a pure CPU oracle for validation.
 
-Each app supports two engines:
+Execution -- resolving the schedule, running the kernel, assembling
+:class:`KernelStats` -- is owned entirely by :mod:`repro.engine`: the
+driver describes launches to a :class:`~repro.engine.dispatch.Runtime`
+and the selected engine (``"vector"`` or ``"simt"``, see
+:data:`~repro.engine.dispatch.ENGINES`) does the rest.  Switching the
+schedule *or* the engine is a one-identifier change, and no application
+module contains engine-specific plumbing.
 
-* ``"vector"`` -- NumPy functional result + analytic timing from the
-  schedule's planner (corpus scale);
-* ``"simt"`` -- the kernel is executed thread-by-thread on the simulated
-  GPU through the schedule's per-thread ranges (ground truth; small
-  inputs).
+This module keeps the pieces the app declarations share: the
+:class:`AppResult` envelope, the SpMV cost model (reused by SpMM and the
+baselines), and input canonicalization helpers.  ``resolve_schedule``
+and ``ENGINES`` are re-exported from the engine layer for backward
+compatibility.
 """
 
 from __future__ import annotations
@@ -22,16 +36,12 @@ from typing import Any
 
 import numpy as np
 
-from ..core.heuristic import HeuristicParams, select_schedule
-from ..core.schedule import LaunchParams, Schedule, WorkCosts, make_schedule
-from ..core.work import WorkSpec
+from ..core.schedule import WorkCosts
+from ..engine.dispatch import ENGINES, resolve_schedule
 from ..gpusim.arch import GpuSpec, V100
 from ..gpusim.cost_model import KernelStats
-from ..sparse.csr import CsrMatrix
 
 __all__ = ["AppResult", "resolve_schedule", "spmv_costs", "ENGINES"]
-
-ENGINES = ("vector", "simt")
 
 
 @dataclass
@@ -46,31 +56,6 @@ class AppResult:
     @property
     def elapsed_ms(self) -> float:
         return self.stats.elapsed_ms
-
-
-def resolve_schedule(
-    schedule: str | Schedule,
-    work: WorkSpec,
-    spec: GpuSpec,
-    launch: LaunchParams | None = None,
-    *,
-    matrix: CsrMatrix | None = None,
-    heuristic: HeuristicParams | None = None,
-    **options,
-) -> Schedule:
-    """Turn a schedule name (or ``"heuristic"``) into an instance.
-
-    ``"heuristic"`` applies the Section 6.2 selector and requires the
-    matrix for its shape statistics.
-    """
-    if isinstance(schedule, Schedule):
-        return schedule
-    name = schedule
-    if name == "heuristic":
-        if matrix is None:
-            raise ValueError("schedule='heuristic' requires the input matrix")
-        name = select_schedule(matrix, heuristic or HeuristicParams())
-    return make_schedule(name, work, spec, launch, **options)
 
 
 def spmv_costs(
@@ -120,3 +105,16 @@ def check_dense_vector(x, expected_len: int, name: str = "x") -> np.ndarray:
             f"got shape {np.shape(x)}"
         )
     return arr
+
+
+def tile_charges(sched, costs: WorkCosts) -> tuple[float, float]:
+    """Per-atom / per-tile cycle charges of an interpreted kernel body.
+
+    The SIMT kernels charge ``n_atoms * atom + tile`` per visited tile --
+    the user's declared costs plus the loop overhead and the schedule's
+    abstraction tax, matching what the analytic planners price.
+    """
+    spec = sched.spec
+    atom = costs.atom_total(spec) + getattr(sched, "abstraction_tax", 0.0)
+    tile = costs.tile_cycles + spec.costs.loop_overhead
+    return atom, tile

@@ -4,20 +4,42 @@ Bins every tile by its atom count with one atomic increment per tile --
 a two-line "user computation" that nevertheless exercises the whole
 pipeline (work definition, schedule, execution).  Used by the quickstart
 example and as the minimal app in integration tests.
+
+Under the SIMT engine the kernel reconstructs each tile's atom count by
+*consuming its atoms through the schedule* (each thread contributes the
+atoms it was assigned with an atomic), so partial-tile schedules like
+merge-path remain exact; the binning itself happens in the finalize
+step, like a trailing ``bincount`` launch.
 """
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
-from ..core.work import WorkSpec
-from ..gpusim.arch import GpuSpec, V100
 from ..core.schedules.lrb import lrb_bins
+from ..core.work import WorkSpec
+from ..engine import AppSpec, Runtime, register_app, run_app
+from ..gpusim.arch import GpuSpec, V100
 from ..sparse.csr import CsrMatrix
-from .common import AppResult, resolve_schedule
+from .common import AppResult, tile_charges
 
-__all__ = ["degree_histogram"]
+__all__ = ["degree_histogram", "degree_histogram_reference", "histogram_driver"]
+
+
+def _bin_counts(counts: np.ndarray) -> np.ndarray:
+    """LRB-bin an atom-count array into the histogram (shared by the
+    reference and the SIMT finalize, so the two can never desynchronize)."""
+    bins = lrb_bins(counts)
+    num_bins = int(bins.max()) + 1 if bins.size else 1
+    return np.bincount(bins, minlength=num_bins).astype(np.int64)
+
+
+def degree_histogram_reference(matrix: CsrMatrix) -> np.ndarray:
+    """Pure NumPy oracle: LRB-binned row-length histogram."""
+    return _bin_counts(matrix.row_lengths())
 
 
 def degree_histogram(
@@ -25,24 +47,77 @@ def degree_histogram(
     *,
     schedule: str | Schedule = "thread_mapped",
     spec: GpuSpec = V100,
+    engine: str = "vector",
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
     """Histogram of ``ceil(log2(row_length + 1))`` bins (LRB's binning)."""
-    counts = matrix.row_lengths()
-    bins = lrb_bins(counts)
-    num_bins = int(bins.max()) + 1 if bins.size else 1
-    hist = np.bincount(bins, minlength=num_bins).astype(np.int64)
+    problem = SimpleNamespace(matrix=matrix)
+    return run_app(
+        "histogram",
+        problem,
+        schedule=schedule,
+        engine=engine,
+        spec=spec,
+        launch=launch,
+        **schedule_options,
+    )
 
-    work = WorkSpec.from_csr(matrix, label="histogram")
+
+def _histogram_costs(spec: GpuSpec) -> WorkCosts:
     c = spec.costs
-    costs = WorkCosts(
+    return WorkCosts(
         atom_cycles=0.0,  # the histogram never touches individual atoms
         tile_cycles=c.global_load_coalesced + c.alu + c.atomic,
         tile_reduction=False,
     )
-    sched = resolve_schedule(
-        schedule, work, spec, launch, matrix=matrix, **schedule_options
+
+
+def histogram_driver(problem, rt: Runtime) -> AppResult:
+    """The registered degree-histogram declaration."""
+    matrix = problem.matrix
+    work = WorkSpec.from_csr(matrix, label="histogram")
+    sched = rt.schedule_for(work, matrix=matrix)
+    costs = _histogram_costs(rt.spec)
+
+    def compute() -> np.ndarray:
+        return degree_histogram_reference(matrix)
+
+    def kernel():
+        counts = np.zeros(matrix.num_rows)
+        atom_c, tile_c = tile_charges(sched, costs)
+
+        def body(ctx):
+            for row in sched.tiles(ctx):
+                n = 0
+                for _nz in sched.atoms(ctx, row):
+                    n += 1
+                ctx.charge(n * atom_c + tile_c)
+                if n:
+                    ctx.atomic_add(counts, row, n)
+
+        def finalize() -> np.ndarray:
+            return _bin_counts(counts.astype(np.int64))
+
+        return body, finalize
+
+    output, stats = rt.run_launch(
+        sched,
+        costs,
+        compute=compute,
+        kernel=kernel,
+        extras={"app": "degree_histogram"},
     )
-    stats = sched.plan(costs, extras={"app": "degree_histogram"})
-    return AppResult(output=hist, stats=stats, schedule=sched.name)
+    return AppResult(output=output, stats=stats, schedule=sched.name)
+
+
+register_app(
+    AppSpec(
+        name="histogram",
+        driver=histogram_driver,
+        default_schedule="thread_mapped",
+        oracle=lambda p: degree_histogram_reference(p.matrix),
+        sweep_problem=lambda matrix, seed: SimpleNamespace(matrix=matrix),
+        description="LRB-binned row-degree histogram (minimal app)",
+    )
+)

@@ -4,21 +4,27 @@ Demonstrates kernel *fusion of reuse*: the whole algorithm is repeated
 calls of the SpMV primitive already built on the abstraction, so PageRank
 inherits every schedule (and the heuristic selector) with zero extra
 load-balancing code -- the composability the paper's design goals call
-for ("compose new load-balanced primitives from existing APIs").
+for ("compose new load-balanced primitives from existing APIs").  Since
+the SpMV declaration is engine-agnostic, PageRank also inherits both
+engines for free: the driver simply re-runs the SpMV driver on the same
+runtime every iteration.
 """
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
+from ..engine import AppSpec, Runtime, register_app, run_app
 from ..gpusim.arch import GpuSpec, V100
-from ..sparse.csr import CsrMatrix
 from ..sparse.convert import csr_transpose
+from ..sparse.csr import CsrMatrix
 from .common import AppResult
-from .spmv import spmv
+from .spmv import spmv_driver
 
-__all__ = ["pagerank", "pagerank_reference"]
+__all__ = ["pagerank", "pagerank_reference", "pagerank_driver"]
 
 
 def _pull_matrix(adjacency: CsrMatrix) -> CsrMatrix:
@@ -62,10 +68,35 @@ def pagerank(
     max_iter: int = 200,
     schedule: str | Schedule = "merge_path",
     spec: GpuSpec = V100,
+    engine: str = "vector",
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
     """Load-balanced PageRank; one SpMV launch per iteration."""
+    if adjacency.num_rows != adjacency.num_cols:
+        raise ValueError("PageRank requires a square adjacency matrix")
+    if not 0 < damping < 1:
+        raise ValueError("damping must be in (0, 1)")
+    problem = SimpleNamespace(
+        adjacency=adjacency, damping=damping, tol=tol, max_iter=max_iter
+    )
+    return run_app(
+        "pagerank",
+        problem,
+        schedule=schedule,
+        engine=engine,
+        spec=spec,
+        launch=launch,
+        **schedule_options,
+    )
+
+
+def pagerank_driver(problem, rt: Runtime) -> AppResult:
+    """The registered PageRank declaration: SpMV power iteration."""
+    adjacency = problem.adjacency
+    damping = getattr(problem, "damping", 0.85)
+    tol = getattr(problem, "tol", 1e-10)
+    max_iter = getattr(problem, "max_iter", 200)
     if adjacency.num_rows != adjacency.num_cols:
         raise ValueError("PageRank requires a square adjacency matrix")
     if not 0 < damping < 1:
@@ -77,9 +108,8 @@ def pagerank(
     total_stats = None
     iterations = 0
     for iterations in range(1, max_iter + 1):
-        step = spmv(
-            pull, rank, schedule=schedule, spec=spec, launch=launch,
-            **schedule_options,
+        step = spmv_driver(
+            SimpleNamespace(matrix=pull, x=rank, locality=False), rt
         )
         total_stats = step.stats if total_stats is None else total_stats + step.stats
         new = damping * (step.output + rank[dangling].sum() / n) + (1 - damping) / n
@@ -88,10 +118,33 @@ def pagerank(
         if delta < tol:
             break
     assert total_stats is not None
-    sched_name = schedule if isinstance(schedule, str) else schedule.name
+    sched_name = rt.schedule if isinstance(rt.schedule, str) else rt.schedule.name
     return AppResult(
         output=rank,
         stats=total_stats,
         schedule=sched_name,
         extras={"iterations": iterations},
     )
+
+
+register_app(
+    AppSpec(
+        name="pagerank",
+        driver=pagerank_driver,
+        default_schedule="merge_path",
+        oracle=lambda p: pagerank_reference(
+            p.adjacency,
+            getattr(p, "damping", 0.85),
+            getattr(p, "tol", 1e-10),
+            getattr(p, "max_iter", 200),
+        ),
+        sweep_problem=lambda matrix, seed: SimpleNamespace(
+            adjacency=matrix, damping=0.85, tol=1e-8, max_iter=100
+        ),
+        match=lambda output, expected: bool(
+            np.allclose(output, expected, rtol=1e-5, atol=1e-8)
+        ),
+        accepts=lambda matrix: matrix.num_rows == matrix.num_cols,
+        description="PageRank power iteration composed from SpMV",
+    )
+)

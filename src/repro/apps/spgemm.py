@@ -12,22 +12,27 @@ row-wise formulation in two load-balanced kernels plus an allocation stage:
    per-atom cost of pass 1 is wildly uneven -- this is exactly the kind of
    nested irregularity the abstraction exists for).
 
-Both kernels share whatever schedule the caller picks.
+Both kernels share whatever schedule the caller picks, and both are
+described to the engine layer as ordinary launches -- the two-pass
+structure lives in the driver, the execution strategy in the engine.
 """
 
 from __future__ import annotations
+
+from types import SimpleNamespace
 
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
+from ..engine import AppSpec, Runtime, register_app, run_app
 from ..gpusim.arch import GpuSpec, V100
-from ..sparse.convert import coo_to_csr
+from ..sparse.convert import coo_to_csr, csr_transpose
 from ..sparse.coo import CooMatrix
 from ..sparse.csr import CsrMatrix
-from .common import AppResult, resolve_schedule
+from .common import AppResult, tile_charges
 
-__all__ = ["spgemm", "spgemm_reference"]
+__all__ = ["spgemm", "spgemm_reference", "spgemm_driver"]
 
 
 def _count_costs(spec: GpuSpec) -> WorkCosts:
@@ -95,6 +100,7 @@ def spgemm(
     *,
     schedule: str | Schedule = "merge_path",
     spec: GpuSpec = V100,
+    engine: str = "vector",
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
@@ -104,38 +110,114 @@ def spgemm(
     sequential composition of the two kernels' stats.
     """
     _check(a, b)
+    problem = SimpleNamespace(a=a, b=b)
+    return run_app(
+        "spgemm",
+        problem,
+        schedule=schedule,
+        engine=engine,
+        spec=spec,
+        launch=launch,
+        **schedule_options,
+    )
+
+
+def spgemm_driver(problem, rt: Runtime) -> AppResult:
+    """The registered SpGEMM declaration: count, allocate, compute."""
+    a, b = problem.a, problem.b
+    _check(a, b)
+    b_row_lengths = b.row_lengths()
+    a_rows = np.repeat(np.arange(a.num_rows, dtype=np.int64), a.row_lengths())
+
     # ---- Pass 1: count intermediate products per row of A. ----
     work_count = WorkSpec.from_csr(a, label="spgemm-count")
-    sched1 = resolve_schedule(
-        schedule, work_count, spec, launch, matrix=a, **schedule_options
+    sched1 = rt.schedule_for(work_count, matrix=a)
+    costs1 = _count_costs(rt.spec)
+
+    def compute_counts() -> np.ndarray:
+        per_row = np.zeros(a.num_rows, dtype=np.int64)
+        np.add.at(per_row, a_rows, b_row_lengths[a.col_indices])
+        return per_row
+
+    def count_kernel():
+        counts = np.zeros(a.num_rows)
+        col_indices = a.col_indices
+        atom_c, tile_c = tile_charges(sched1, costs1)
+
+        def body(ctx):
+            for row in sched1.tiles(ctx):
+                n = 0
+                found = 0
+                for nz in sched1.atoms(ctx, row):
+                    found += int(b_row_lengths[col_indices[nz]])
+                    n += 1
+                ctx.charge(n * atom_c + tile_c)
+                if n:
+                    ctx.atomic_add(counts, row, found)
+
+        return body, lambda: counts.astype(np.int64)
+
+    per_row, stats1 = rt.run_launch(
+        sched1,
+        costs1,
+        compute=compute_counts,
+        kernel=count_kernel,
+        extras={"app": "spgemm/count"},
     )
-    stats1 = sched1.plan(_count_costs(spec), extras={"app": "spgemm/count"})
 
+    # ---- Allocation stage (host): prefix-sum the counts, expand. ----
     products = _expand_products(a, b)
-    counts_per_atom = products["counts_per_atom"]
-    a_rows = np.repeat(np.arange(a.num_rows, dtype=np.int64), a.row_lengths())
-    per_row = np.zeros(a.num_rows, dtype=np.int64)
-    np.add.at(per_row, a_rows, counts_per_atom)
-
-    # ---- Allocation stage (host): prefix-sum the counts. ----
     work_compute = WorkSpec.from_counts(per_row, label="spgemm-compute")
 
     # ---- Pass 2: multiply-accumulate over the products. ----
-    sched2 = resolve_schedule(
-        schedule, work_compute, spec, None, matrix=a, **schedule_options
-    )
-    stats2 = sched2.plan(_compute_costs(spec), extras={"app": "spgemm/compute"})
+    sched2 = rt.schedule_for(work_compute, matrix=a, launch=None)
+    costs2 = _compute_costs(rt.spec)
 
-    coo = CooMatrix.from_arrays(
-        products["rows"], products["cols"], products["vals"],
-        (a.num_rows, b.num_cols),
-    ).sum_duplicates()
-    c = coo_to_csr(coo)
+    def compute_product() -> CsrMatrix:
+        coo = CooMatrix.from_arrays(
+            products["rows"], products["cols"], products["vals"],
+            (a.num_rows, b.num_cols),
+        ).sum_duplicates()
+        return coo_to_csr(coo)
+
+    def compute_kernel():
+        # Product atoms are row-sorted (they inherit A's atom order), so
+        # atom ids index the expanded arrays directly; accumulation goes
+        # to a dense scratch C that finalize re-sparsifies.
+        dense_c = np.zeros((a.num_rows, b.num_cols))
+        cols, vals = products["cols"], products["vals"]
+        atom_c, tile_c = tile_charges(sched2, costs2)
+
+        def body(ctx):
+            for row in sched2.tiles(ctx):
+                n = 0
+                for p in sched2.atoms(ctx, row):
+                    ctx.atomic_add(dense_c[row], cols[p], vals[p])
+                    n += 1
+                ctx.charge(n * atom_c + tile_c)
+
+        def finalize() -> CsrMatrix:
+            rows, cols_nz = np.nonzero(dense_c)
+            coo = CooMatrix.from_arrays(
+                rows, cols_nz, dense_c[rows, cols_nz], (a.num_rows, b.num_cols)
+            )
+            return coo_to_csr(coo)
+
+        return body, finalize
+
+    c, stats2 = rt.run_launch(
+        sched2,
+        costs2,
+        compute=compute_product,
+        kernel=compute_kernel,
+        extras={"app": "spgemm/compute"},
+    )
+
     return AppResult(
         output=c,
         stats=stats1 + stats2,
         schedule=sched1.name,
-        extras={"intermediate_products": int(counts_per_atom.sum())},
+        extras={"intermediate_products": int(products["counts_per_atom"].sum())},
     )
 
 
@@ -144,3 +226,22 @@ def _check(a: CsrMatrix, b: CsrMatrix) -> None:
         raise ValueError(
             f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
         )
+
+
+def _sweep_problem(matrix: CsrMatrix, seed: int) -> SimpleNamespace:
+    # Square matrices multiply themselves; rectangular ones multiply
+    # their transpose (always dimension-compatible).
+    b = matrix if matrix.num_rows == matrix.num_cols else csr_transpose(matrix)
+    return SimpleNamespace(a=matrix, b=b)
+
+
+register_app(
+    AppSpec(
+        name="spgemm",
+        driver=spgemm_driver,
+        default_schedule="merge_path",
+        oracle=lambda p: spgemm_reference(p.a, p.b),
+        sweep_problem=_sweep_problem,
+        description="two-pass Gustavson SpGEMM (count, allocate, compute)",
+    )
+)

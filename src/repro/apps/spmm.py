@@ -9,17 +9,22 @@ balancing; here the extension costs one line instead of a rewrite.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
+from ..engine import AppSpec, Runtime, input_matrix, register_app, run_app
 from ..gpusim.arch import GpuSpec, V100
-from ..gpusim.cost_model import kernel_stats_from_thread_cycles
-from ..gpusim.simt import launch_interpreted
 from ..sparse.csr import CsrMatrix
-from .common import AppResult, resolve_schedule, spmv_costs
+from .common import AppResult, spmv_costs, tile_charges
 
-__all__ = ["spmm", "spmm_reference", "spmm_costs"]
+__all__ = ["spmm", "spmm_reference", "spmm_costs", "spmm_driver"]
+
+#: Dense-column count used when deriving an SpMM sweep problem from a
+#: corpus matrix (kept small so corpus sweeps stay proportionate).
+SWEEP_B_COLS = 4
 
 
 def spmm_costs(spec: GpuSpec, n_cols: int) -> WorkCosts:
@@ -59,58 +64,56 @@ def spmm(
 ) -> AppResult:
     """Load-balanced SpMM on the simulated GPU."""
     b = _check_b(matrix, b)
-    work = WorkSpec.from_csr(matrix)
-    sched = resolve_schedule(
-        schedule, work, spec, launch, matrix=matrix, **schedule_options
+    problem = SimpleNamespace(matrix=matrix, b=b)
+    return run_app(
+        "spmm",
+        problem,
+        schedule=schedule,
+        engine=engine,
+        spec=spec,
+        launch=launch,
+        **schedule_options,
     )
-    if engine == "vector":
-        c = spmm_reference(matrix, b)
-        stats = sched.plan(
-            spmm_costs(sched.spec, b.shape[1]), extras={"app": "spmm"}
-        )
-        return AppResult(output=c, stats=stats, schedule=sched.name)
-    if engine == "simt":
-        return _spmm_simt(matrix, b, sched)
-    raise ValueError(f"unknown engine {engine!r}")
 
 
-def _spmm_simt(matrix: CsrMatrix, b: np.ndarray, sched: Schedule) -> AppResult:
-    """Listing 4's kernel: Listing 3 plus a loop over B's columns."""
-    spec = sched.spec
+def spmm_driver(problem, rt: Runtime) -> AppResult:
+    """The registered SpMM declaration."""
+    matrix, b = problem.matrix, problem.b
     n_cols = b.shape[1]
-    costs = spmm_costs(spec, n_cols)
-    c = np.zeros((matrix.num_rows, n_cols))
-    values, col_indices = matrix.values, matrix.col_indices
-    atom_c = costs.atom_total(spec) + getattr(sched, "abstraction_tax", 0.0)
-    tile_c = costs.tile_cycles + spec.costs.loop_overhead
-    owns_fully = getattr(sched, "owns_tile_fully", None)
+    work = WorkSpec.from_csr(matrix)
+    sched = rt.schedule_for(work, matrix=matrix)
+    costs = spmm_costs(sched.spec, n_cols)
 
-    def kernel(ctx):
-        for row in sched.tiles(ctx):
-            atoms = list(sched.atoms(ctx, row))
-            # Listing 4: the new loop over B's columns wraps the SpMV body.
-            for col in range(n_cols):
-                acc = 0.0
-                for nz in atoms:
-                    acc += values[nz] * b[col_indices[nz], col]
-                if owns_fully is not None and owns_fully(ctx, row):
-                    c[row, col] = acc
-                else:
-                    ctx.atomic_add(c[:, col], row, acc)
-            ctx.charge(len(atoms) * atom_c + tile_c)
+    def compute() -> np.ndarray:
+        return spmm_reference(matrix, b)
 
-    result = launch_interpreted(
-        kernel, sched.launch.grid_dim, sched.launch.block_dim, (), spec
+    def kernel():
+        """Listing 4's kernel: Listing 3 plus a loop over B's columns."""
+        c = np.zeros((matrix.num_rows, n_cols))
+        values, col_indices = matrix.values, matrix.col_indices
+        atom_c, tile_c = tile_charges(sched, costs)
+        owns_fully = getattr(sched, "owns_tile_fully", None)
+
+        def body(ctx):
+            for row in sched.tiles(ctx):
+                atoms = list(sched.atoms(ctx, row))
+                # Listing 4: the new loop over B's columns wraps the SpMV body.
+                for col in range(n_cols):
+                    acc = 0.0
+                    for nz in atoms:
+                        acc += values[nz] * b[col_indices[nz], col]
+                    if owns_fully is not None and owns_fully(ctx, row):
+                        c[row, col] = acc
+                    else:
+                        ctx.atomic_add(c[:, col], row, acc)
+                ctx.charge(len(atoms) * atom_c + tile_c)
+
+        return body, lambda: c
+
+    output, stats = rt.run_launch(
+        sched, costs, compute=compute, kernel=kernel, extras={"app": "spmm"}
     )
-    stats = kernel_stats_from_thread_cycles(
-        result.thread_cycles,
-        sched.launch.grid_dim,
-        sched.launch.block_dim,
-        spec,
-        setup_cycles=sched.setup_cycles(costs),
-        extras={"app": "spmm", "schedule": sched.name, "engine": "simt"},
-    )
-    return AppResult(output=c, stats=stats, schedule=sched.name)
+    return AppResult(output=output, stats=stats, schedule=sched.name)
 
 
 def _check_b(matrix: CsrMatrix, b) -> np.ndarray:
@@ -121,3 +124,17 @@ def _check_b(matrix: CsrMatrix, b) -> np.ndarray:
             f"got shape {np.shape(b)}"
         )
     return arr
+
+
+register_app(
+    AppSpec(
+        name="spmm",
+        driver=spmm_driver,
+        default_schedule="merge_path",
+        oracle=lambda p: spmm_reference(p.matrix, p.b),
+        sweep_problem=lambda matrix, seed: SimpleNamespace(
+            matrix=matrix, b=input_matrix(matrix.num_cols, SWEEP_B_COLS, seed)
+        ),
+        description="sparse-dense matrix multiply C = A @ B (Listing 4)",
+    )
+)

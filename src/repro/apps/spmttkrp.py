@@ -14,15 +14,22 @@ workloads in practice, so the choice matters).
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
+from ..engine import AppSpec, Runtime, input_matrix, register_app, run_app
 from ..gpusim.arch import GpuSpec, V100
+from ..sparse.csr import CsrMatrix
 from ..sparse.tensor import SparseTensor3
-from .common import AppResult, resolve_schedule
+from .common import AppResult, tile_charges
 
-__all__ = ["spmttkrp", "spmttkrp_reference", "mttkrp_costs"]
+__all__ = ["spmttkrp", "spmttkrp_reference", "mttkrp_costs", "spmttkrp_driver"]
+
+#: Factor rank used when deriving a sweep problem from a corpus matrix.
+SWEEP_RANK = 4
 
 
 def mttkrp_costs(spec: GpuSpec, rank: int) -> WorkCosts:
@@ -56,6 +63,7 @@ def spmttkrp(
     *,
     schedule: str | Schedule = "merge_path",
     spec: GpuSpec = V100,
+    engine: str = "vector",
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
@@ -66,13 +74,68 @@ def spmttkrp(
     *schedule* instead of a storage format.
     """
     b, c = _check_factors(tensor, b, c)
-    work = WorkSpec.from_counts(tensor.slice_counts(), label="mttkrp")
-    sched = resolve_schedule(schedule, work, spec, launch, **schedule_options)
-    m = spmttkrp_reference(tensor, b, c)
-    stats = sched.plan(
-        mttkrp_costs(spec, b.shape[1]), extras={"app": "spmttkrp"}
+    problem = SimpleNamespace(tensor=tensor, b=b, c=c)
+    return run_app(
+        "spmttkrp",
+        problem,
+        schedule=schedule,
+        engine=engine,
+        spec=spec,
+        launch=launch,
+        **schedule_options,
     )
-    return AppResult(output=m, stats=stats, schedule=sched.name)
+
+
+def spmttkrp_driver(problem, rt: Runtime) -> AppResult:
+    """The registered MTTKRP declaration.
+
+    The tensor's coordinates are sorted by mode-0 index (the
+    :class:`SparseTensor3` invariant), so atom ids index the coordinate
+    arrays directly and each slice's atoms form a contiguous range.
+    """
+    tensor, b, c = problem.tensor, problem.b, problem.c
+    b, c = _check_factors(tensor, b, c)
+    rank = b.shape[1]
+    work = WorkSpec.from_counts(tensor.slice_counts(), label="mttkrp")
+    # The mode-0 matricization pattern (slices x J), zero-copy over the
+    # tensor's arrays: gives schedule='heuristic' the shape statistics it
+    # needs, same as the matrix apps.
+    proxy = CsrMatrix.from_arrays(
+        tensor.slice_offsets(),
+        tensor.j,
+        tensor.values,
+        (tensor.shape[0], tensor.shape[1]),
+        validate=False,
+    )
+    sched = rt.schedule_for(work, matrix=proxy)
+    costs = mttkrp_costs(rt.spec, rank)
+
+    def compute() -> np.ndarray:
+        return spmttkrp_reference(tensor, b, c)
+
+    def kernel():
+        m = np.zeros((tensor.shape[0], rank))
+        values, jj, kk = tensor.values, tensor.j, tensor.k
+        atom_c, tile_c = tile_charges(sched, costs)
+
+        def body(ctx):
+            for tile in sched.tiles(ctx):
+                acc = np.zeros(rank)
+                n = 0
+                for nz in sched.atoms(ctx, tile):
+                    acc += values[nz] * b[jj[nz]] * c[kk[nz]]
+                    n += 1
+                ctx.charge(n * atom_c + tile_c)
+                if n:
+                    # Partial-row accumulation: m[tile] += acc.
+                    ctx.atomic_add(m, tile, acc)
+
+        return body, lambda: m
+
+    output, stats = rt.run_launch(
+        sched, costs, compute=compute, kernel=kernel, extras={"app": "spmttkrp"}
+    )
+    return AppResult(output=output, stats=stats, schedule=sched.name)
 
 
 def _check_factors(tensor: SparseTensor3, b, c) -> tuple[np.ndarray, np.ndarray]:
@@ -89,3 +152,41 @@ def _check_factors(tensor: SparseTensor3, b, c) -> tuple[np.ndarray, np.ndarray]
     if b.shape[1] != c.shape[1]:
         raise ValueError(f"factor ranks disagree: {b.shape[1]} vs {c.shape[1]}")
     return b, c
+
+
+def _sweep_problem(matrix: CsrMatrix, seed: int) -> SimpleNamespace:
+    """Lift a corpus matrix into a 3-way tensor problem.
+
+    The matrix's sparsity pattern supplies (i, j); the third mode is a
+    deterministic function of the coordinates, so the tensor inherits the
+    matrix's row-degree skew (the quantity the schedules balance).
+    """
+    depth = max(1, min(32, matrix.num_cols))
+    rows = np.repeat(
+        np.arange(matrix.num_rows, dtype=np.int64), matrix.row_lengths()
+    )
+    k = (rows + matrix.col_indices) % depth
+    tensor = SparseTensor3.from_arrays(
+        rows,
+        matrix.col_indices,
+        k,
+        matrix.values,
+        (matrix.num_rows, matrix.num_cols, depth),
+    )
+    return SimpleNamespace(
+        tensor=tensor,
+        b=input_matrix(matrix.num_cols, SWEEP_RANK, seed),
+        c=input_matrix(depth, SWEEP_RANK, seed + 1),
+    )
+
+
+register_app(
+    AppSpec(
+        name="spmttkrp",
+        driver=spmttkrp_driver,
+        default_schedule="merge_path",
+        oracle=lambda p: spmttkrp_reference(p.tensor, p.b, p.c),
+        sweep_problem=_sweep_problem,
+        description="sparse tensor MTTKRP over mode-0 slices",
+    )
+)

@@ -3,22 +3,26 @@
 The paper's benchmark application.  The computation itself is four lines;
 everything else is load balancing -- which is exactly the disparity the
 framework removes.  Under this abstraction the same kernel body runs under
-*every* schedule in the library (a one-identifier change, Section 6.2).
+*every* schedule in the library (a one-identifier change, Section 6.2),
+and -- since the execution-engine refactor -- under every *engine* too:
+the declaration below is consumed unchanged by the vectorized planner
+path and the thread-by-thread SIMT interpreter.
 """
 
 from __future__ import annotations
+
+from types import SimpleNamespace
 
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
 from ..core.work import WorkSpec
+from ..engine import AppSpec, Runtime, input_vector, register_app, run_app
 from ..gpusim.arch import GpuSpec, V100
-from ..gpusim.simt import launch_interpreted
-from ..gpusim.cost_model import kernel_stats_from_thread_cycles
 from ..sparse.csr import CsrMatrix
-from .common import AppResult, check_dense_vector, resolve_schedule, spmv_costs
+from .common import AppResult, check_dense_vector, spmv_costs, tile_charges
 
-__all__ = ["spmv", "spmv_reference"]
+__all__ = ["spmv", "spmv_reference", "spmv_driver"]
 
 
 def spmv_reference(matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
@@ -59,76 +63,98 @@ def spmv(
         locality-agnostic evaluation.
     """
     x = check_dense_vector(x, matrix.num_cols)
-    work = WorkSpec.from_csr(matrix)
-    sched = resolve_schedule(
-        schedule, work, spec, launch, matrix=matrix, **schedule_options
+    problem = SimpleNamespace(matrix=matrix, x=x, locality=locality)
+    return run_app(
+        "spmv",
+        problem,
+        schedule=schedule,
+        engine=engine,
+        spec=spec,
+        launch=launch,
+        **schedule_options,
     )
-    if engine == "vector":
-        return _spmv_vector(matrix, x, sched, locality)
-    if engine == "simt":
-        return _spmv_simt(matrix, x, sched)
-    raise ValueError(f"unknown engine {engine!r}")
 
 
-def _spmv_vector(
-    matrix: CsrMatrix, x: np.ndarray, sched: Schedule, locality: bool = False
-) -> AppResult:
-    y = spmv_reference(matrix, x)
+def spmv_driver(problem, rt: Runtime) -> AppResult:
+    """The registered SpMV declaration: work, costs, result, kernel body."""
+    matrix, x = problem.matrix, problem.x
+    locality = getattr(problem, "locality", False)
+    work = WorkSpec.from_csr(matrix)
+    sched = rt.schedule_for(work, matrix=matrix)
     working_set = float(x.nbytes) if locality else None
-    stats = sched.plan(
-        spmv_costs(sched.spec, gather_working_set_bytes=working_set),
+    costs = spmv_costs(sched.spec, gather_working_set_bytes=working_set)
+
+    def compute() -> np.ndarray:
+        return spmv_reference(matrix, x)
+
+    def kernel():
+        """Listing 3's kernel body, executed thread-by-thread.
+
+        Schedules that split tiles across threads (merge-path,
+        nonzero-split) or across lanes (warp/block/group/lrb) combine
+        partial sums with an atomic -- the simulator linearizes atomics,
+        so the result is exact up to float summation order.
+        """
+        y = np.zeros(matrix.num_rows)
+        values, col_indices = matrix.values, matrix.col_indices
+        atom_c, tile_c = tile_charges(sched, costs)
+        owns_fully = getattr(sched, "owns_tile_fully", None)
+
+        def body(ctx):
+            # -- Listing 3: consume rows, then atoms, through the schedule. --
+            for row in sched.tiles(ctx):
+                acc = 0.0
+                n = 0
+                for nz in sched.atoms(ctx, row):
+                    acc += values[nz] * x[col_indices[nz]]
+                    n += 1
+                ctx.charge(n * atom_c + tile_c)
+                if n == 0 and owns_fully is None:
+                    continue
+                if owns_fully is not None and owns_fully(ctx, row):
+                    y[row] = acc
+                else:
+                    # Lane-parallel / partial-tile threads contribute partials.
+                    ctx.atomic_add(y, row, acc)
+
+        return body, lambda: y
+
+    output, stats = rt.run_launch(
+        sched,
+        costs,
+        compute=compute,
+        kernel=kernel,
         extras={"app": "spmv", "locality": locality},
     )
-    return AppResult(output=y, stats=stats, schedule=sched.name)
+    return AppResult(output=output, stats=stats, schedule=sched.name)
 
 
-def _spmv_simt(matrix: CsrMatrix, x: np.ndarray, sched: Schedule) -> AppResult:
-    """Execute the Listing 3 kernel body thread-by-thread.
-
-    The kernel is written exactly in the paper's pattern: a nested
-    range-based for loop over ``config.tiles()`` / ``config.atoms(row)``.
-    Schedules that split tiles across threads (merge-path, nonzero-split)
-    or across lanes (warp/block/group/lrb) combine partial sums with an
-    atomic -- the simulator linearizes atomics, so the result is exact up
-    to float summation order.
-    """
-    spec = sched.spec
-    costs = spmv_costs(spec)
-    y = np.zeros(matrix.num_rows)
-    values, col_indices = matrix.values, matrix.col_indices
-    atom_c = costs.atom_total(spec) + getattr(sched, "abstraction_tax", 0.0)
-    tile_c = costs.tile_cycles + spec.costs.loop_overhead
-
-    owns_fully = getattr(sched, "owns_tile_fully", None)
-
-    def kernel(ctx):
-        # -- Listing 3: consume rows, then atoms, through the schedule. --
-        for row in sched.tiles(ctx):
-            acc = 0.0
-            n = 0
-            for nz in sched.atoms(ctx, row):
-                acc += values[nz] * x[col_indices[nz]]
-                n += 1
-            ctx.charge(n * atom_c + tile_c)
-            if n == 0 and owns_fully is None:
-                continue
-            if owns_fully is not None and owns_fully(ctx, row):
-                y[row] = acc
-            elif owns_fully is not None:
-                ctx.atomic_add(y, row, acc)
-            else:
-                # Lane-parallel schedules: each lane contributes a partial.
-                ctx.atomic_add(y, row, acc)
-
-    result = launch_interpreted(
-        kernel, sched.launch.grid_dim, sched.launch.block_dim, (), spec
+def _sweep_problem(matrix: CsrMatrix, seed: int) -> SimpleNamespace:
+    return SimpleNamespace(
+        matrix=matrix, x=input_vector(matrix.num_cols, seed), locality=False
     )
-    stats = kernel_stats_from_thread_cycles(
-        result.thread_cycles,
-        sched.launch.grid_dim,
-        sched.launch.block_dim,
-        spec,
-        setup_cycles=sched.setup_cycles(costs),
-        extras={"app": "spmv", "schedule": sched.name, "engine": "simt"},
+
+
+def _cub_baseline(problem, spec):
+    from ..baselines.cub_spmv import cub_spmv
+
+    return cub_spmv(problem.matrix, problem.x, spec)
+
+
+def _cusparse_baseline(problem, spec):
+    from ..baselines.cusparse_spmv import cusparse_spmv
+
+    return cusparse_spmv(problem.matrix, problem.x, spec)
+
+
+register_app(
+    AppSpec(
+        name="spmv",
+        driver=spmv_driver,
+        default_schedule="merge_path",
+        oracle=lambda p: spmv_reference(p.matrix, p.x),
+        sweep_problem=_sweep_problem,
+        baselines={"cub": _cub_baseline, "cusparse": _cusparse_baseline},
+        description="sparse matrix-vector multiply y = A @ x (Listing 3)",
     )
-    return AppResult(output=y, stats=stats, schedule=sched.name)
+)

@@ -10,15 +10,18 @@ straight from the same library the SpMV benchmark uses.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
+from ..engine import AppSpec, Runtime, register_app, run_app
 from ..gpusim.arch import GpuSpec, V100
 from ..sparse.graph import CsrGraph
 from .common import AppResult
-from .traversal import run_frontier_loop
+from .traversal import graph_sweep_problem, run_frontier_loop
 
-__all__ = ["sssp", "sssp_reference"]
+__all__ = ["sssp", "sssp_reference", "sssp_driver"]
 
 
 def sssp_reference(graph: CsrGraph, source: int) -> np.ndarray:
@@ -50,6 +53,7 @@ def sssp(
     *,
     schedule: str | Schedule = "group_mapped",
     spec: GpuSpec = V100,
+    engine: str = "vector",
     launch: LaunchParams | None = None,
     max_iterations: int | None = None,
     **schedule_options,
@@ -60,6 +64,24 @@ def sssp(
     stats compose every frontier launch, one load-balanced kernel per
     iteration (Listing 5's outer loop).
     """
+    problem = SimpleNamespace(
+        graph=graph, source=source, max_iterations=max_iterations
+    )
+    return run_app(
+        "sssp",
+        problem,
+        schedule=schedule,
+        engine=engine,
+        spec=spec,
+        launch=launch,
+        **schedule_options,
+    )
+
+
+def sssp_driver(problem, rt: Runtime) -> AppResult:
+    """The registered SSSP declaration: Listing 5's relaxation, twice."""
+    graph, source = problem.graph, problem.source
+    max_iterations = getattr(problem, "max_iterations", None)
     if graph.num_edges and graph.csr.values.min() < 0:
         raise ValueError("SSSP requires non-negative edge weights")
     n = graph.num_vertices
@@ -78,20 +100,38 @@ def sssp(
         next_mask[edge_targets[improved]] = True  # out_frontier[neighbor]
         return next_mask
 
+    def relax_edge(ctx, src, dst, weight, next_mask):
+        # Scalar Listing 5 body: atomicMin, then flag on improvement.
+        candidate = dist[src] + weight
+        old = ctx.atomic_min(dist, dst, candidate)
+        if candidate < old:
+            next_mask[dst] = True
+
     iterations, stats = run_frontier_loop(
         graph,
         source,
         relax,
-        schedule=schedule,
-        spec=spec,
-        launch=launch,
+        relax_edge=relax_edge,
+        rt=rt,
         max_iterations=max_iterations,
-        **schedule_options,
     )
-    sched_name = schedule if isinstance(schedule, str) else schedule.name
+    sched_name = rt.schedule if isinstance(rt.schedule, str) else rt.schedule.name
     return AppResult(
         output=dist,
         stats=stats,
         schedule=sched_name,
         extras={"iterations": len(iterations), "trace": iterations},
     )
+
+
+register_app(
+    AppSpec(
+        name="sssp",
+        driver=sssp_driver,
+        default_schedule="group_mapped",
+        oracle=lambda p: sssp_reference(p.graph, p.source),
+        sweep_problem=graph_sweep_problem,
+        accepts=lambda matrix: matrix.num_rows == matrix.num_cols,
+        description="frontier-based single-source shortest paths",
+    )
+)

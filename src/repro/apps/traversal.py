@@ -7,6 +7,12 @@ edges.  The per-iteration WorkSpec is rebuilt from the frontier -- which is
 exactly why graph workloads are so imbalance-prone (frontier degree
 distributions are arbitrary) and why reusing SpMV's schedules here is the
 paper's headline composability result.
+
+Each frontier advance is described to the engine layer as one launch:
+algorithms supply a vectorized ``relax`` (NumPy over the whole edge
+frontier; the vector engine's functional path) and optionally a scalar
+``relax_edge`` (one edge at a time; the SIMT engine's kernel body).  The
+loop itself is engine-agnostic.
 """
 
 from __future__ import annotations
@@ -17,12 +23,42 @@ import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
+from ..engine import Runtime
 from ..gpusim.arch import GpuSpec, V100
 from ..gpusim.cost_model import KernelStats
 from ..sparse.graph import CsrGraph
-from .common import resolve_schedule
+from .common import tile_charges
 
-__all__ = ["FrontierIteration", "traversal_costs", "advance_workspec", "run_frontier_loop"]
+__all__ = [
+    "FrontierIteration",
+    "traversal_costs",
+    "advance_workspec",
+    "run_frontier_loop",
+    "graph_sweep_problem",
+]
+
+
+def graph_sweep_problem(matrix, seed: int):
+    """Lift a square corpus matrix into a traversal problem (source 0).
+
+    Shared by the BFS and SSSP registrations: weights are taken as
+    absolute values so any corpus matrix satisfies SSSP's non-negativity
+    requirement.
+    """
+    from types import SimpleNamespace
+
+    from ..sparse.csr import CsrMatrix
+
+    graph = CsrGraph(
+        csr=CsrMatrix.from_arrays(
+            matrix.row_offsets,
+            matrix.col_indices,
+            np.abs(matrix.values),
+            matrix.shape,
+            validate=False,
+        )
+    )
+    return SimpleNamespace(graph=graph, source=0, max_iterations=None)
 
 
 def traversal_costs(spec: GpuSpec) -> WorkCosts:
@@ -66,6 +102,8 @@ def run_frontier_loop(
     source: int,
     relax,
     *,
+    relax_edge=None,
+    rt: Runtime | None = None,
     schedule: str | Schedule = "group_mapped",
     spec: GpuSpec = V100,
     launch: LaunchParams | None = None,
@@ -80,32 +118,43 @@ def run_frontier_loop(
     load-balanced timing; algorithms (BFS, SSSP) supply only the relaxation
     -- the "user-defined computation" stage of the abstraction.
 
+    ``relax_edge(ctx, src, dst, weight, next_mask)`` is the scalar form of
+    the same relaxation, consumed one edge at a time by the SIMT engine's
+    interpreted kernel; it must mark improved vertices in ``next_mask``.
+    Algorithms that omit it run on the vector engine only.
+
+    ``rt`` carries the engine/schedule/device selection; when omitted, a
+    vector-engine runtime is built from the legacy keyword arguments.
+
     Returns ``(iterations, total_stats)``.
     """
+    if rt is None:
+        rt = Runtime(
+            "vector",
+            spec=spec,
+            schedule=schedule,
+            launch=launch,
+            schedule_options=schedule_options,
+        )
     if not 0 <= source < graph.num_vertices:
         raise ValueError(f"source {source} out of range")
     csr = graph.csr
+    n = graph.num_vertices
     frontier = np.asarray([source], dtype=np.int64)
     iterations: list[FrontierIteration] = []
     total_stats: KernelStats | None = None
     limit = max_iterations if max_iterations is not None else graph.num_vertices + 1
+    costs = traversal_costs(rt.spec)
 
     for it in range(limit):
         if frontier.size == 0:
             break
         work = advance_workspec(graph, frontier)
-        if work.num_atoms > 0 or work.num_tiles > 0:
-            sched = resolve_schedule(
-                schedule, work, spec, launch, matrix=csr, **schedule_options
-            )
-            stats = sched.plan(
-                traversal_costs(spec), extras={"app": "traversal", "iteration": it}
-            )
-            total_stats = stats if total_stats is None else total_stats + stats
-        else:  # pragma: no cover - empty graphs
+        if work.num_atoms == 0 and work.num_tiles == 0:  # pragma: no cover
             break
 
-        # Vectorized edge expansion of the frontier.
+        # Vectorized edge expansion of the frontier.  Atom id e of this
+        # iteration's WorkSpec indexes these arrays directly.
         degrees = csr.row_lengths()[frontier]
         edge_sources = np.repeat(frontier, degrees)
         starts = csr.row_offsets[frontier]
@@ -117,7 +166,45 @@ def run_frontier_loop(
         edge_targets = csr.col_indices[edge_ids]
         edge_weights = csr.values[edge_ids]
 
-        next_mask = relax(frontier, edge_sources, edge_targets, edge_weights)
+        sched = rt.schedule_for(work, matrix=csr)
+
+        def compute():
+            return relax(frontier, edge_sources, edge_targets, edge_weights)
+
+        kernel = None
+        if relax_edge is not None:
+
+            def kernel():
+                next_mask = np.zeros(n, dtype=bool)
+                atom_c, tile_c = tile_charges(sched, costs)
+
+                def body(ctx):
+                    # Listing 5's pattern: edges through the schedule, the
+                    # owning vertex recovered implicitly via the tile.
+                    for tile in sched.tiles(ctx):
+                        m = 0
+                        for e in sched.atoms(ctx, tile):
+                            relax_edge(
+                                ctx,
+                                int(edge_sources[e]),
+                                int(edge_targets[e]),
+                                float(edge_weights[e]),
+                                next_mask,
+                            )
+                            m += 1
+                        ctx.charge(m * atom_c + tile_c)
+
+                return body, lambda: next_mask
+
+        next_mask, stats = rt.run_launch(
+            sched,
+            costs,
+            compute=compute,
+            kernel=kernel,
+            extras={"app": "traversal", "iteration": it},
+        )
+        total_stats = stats if total_stats is None else total_stats + stats
+
         iterations.append(
             FrontierIteration(
                 iteration=it,
@@ -131,8 +218,8 @@ def run_frontier_loop(
     if total_stats is None:
         # Degenerate single-vertex graph: charge one empty launch.
         total_stats = KernelStats(
-            elapsed_ms=spec.cycles_to_ms(spec.costs.kernel_launch_cycles),
-            makespan_cycles=spec.costs.kernel_launch_cycles,
+            elapsed_ms=rt.spec.cycles_to_ms(rt.spec.costs.kernel_launch_cycles),
+            makespan_cycles=rt.spec.costs.kernel_launch_cycles,
             grid_dim=1,
             block_dim=32,
             occupancy=0.0,

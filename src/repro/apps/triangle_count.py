@@ -8,15 +8,18 @@ sum, making this the stress test for atom-cost-aware schedules like LRB.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
+from ..engine import AppSpec, Runtime, register_app, run_app
 from ..gpusim.arch import GpuSpec, V100
 from ..sparse.csr import CsrMatrix
-from .common import AppResult, resolve_schedule
+from .common import AppResult, tile_charges
 
-__all__ = ["triangle_count", "triangle_count_reference"]
+__all__ = ["triangle_count", "triangle_count_reference", "triangle_count_driver"]
 
 
 def _upper_triangle(adjacency: CsrMatrix) -> CsrMatrix:
@@ -66,6 +69,7 @@ def triangle_count(
     *,
     schedule: str | Schedule = "lrb",
     spec: GpuSpec = V100,
+    engine: str = "vector",
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
@@ -76,29 +80,73 @@ def triangle_count(
     """
     if adjacency.num_rows != adjacency.num_cols:
         raise ValueError("triangle counting requires a square adjacency")
-    # Symmetrize/binarize, then reduce to the upper triangle.
-    dense_free = _symmetrized(adjacency)
-    upper = _upper_triangle(dense_free)
+    problem = SimpleNamespace(adjacency=adjacency)
+    return run_app(
+        "triangle_count",
+        problem,
+        schedule=schedule,
+        engine=engine,
+        spec=spec,
+        launch=launch,
+        **schedule_options,
+    )
 
-    # Count: for each directed edge (u, v) in the upper triangle,
-    # |N+(u) /\ N+(v)| using sorted-list intersections.
-    count = 0
-    for u in range(upper.num_rows):
-        nu, _ = upper.row_slice(u)
-        for v in nu:
-            nv, _ = upper.row_slice(int(v))
-            count += np.intersect1d(nu, nv, assume_unique=True).size
+
+def triangle_count_driver(problem, rt: Runtime) -> AppResult:
+    """The registered triangle-count declaration.
+
+    Count: for each directed edge (u, v) in the upper triangle,
+    ``|N+(u) /\\ N+(v)|`` using sorted-list intersections.
+    """
+    adjacency = problem.adjacency
+    if adjacency.num_rows != adjacency.num_cols:
+        raise ValueError("triangle counting requires a square adjacency")
+    # Symmetrize/binarize, then reduce to the upper triangle (host prep).
+    upper = _upper_triangle(_symmetrized(adjacency))
 
     work = WorkSpec.from_csr(upper, label="triangles")
     mean_deg = upper.nnz / max(1, upper.num_rows)
-    sched = resolve_schedule(
-        schedule, work, spec, launch, matrix=upper, **schedule_options
-    )
-    stats = sched.plan(
-        _intersection_costs(spec, mean_deg), extras={"app": "triangle_count"}
+    sched = rt.schedule_for(work, matrix=upper)
+    costs = _intersection_costs(rt.spec, mean_deg)
+
+    def compute() -> int:
+        count = 0
+        for u in range(upper.num_rows):
+            nu, _ = upper.row_slice(u)
+            for v in nu:
+                nv, _ = upper.row_slice(int(v))
+                count += np.intersect1d(nu, nv, assume_unique=True).size
+        return int(count)
+
+    def kernel():
+        total = np.zeros(1)
+        col_indices = upper.col_indices
+        atom_c, tile_c = tile_charges(sched, costs)
+
+        def body(ctx):
+            for u in sched.tiles(ctx):
+                nu, _ = upper.row_slice(int(u))
+                found = 0
+                n = 0
+                for e in sched.atoms(ctx, u):
+                    nv, _ = upper.row_slice(int(col_indices[e]))
+                    found += np.intersect1d(nu, nv, assume_unique=True).size
+                    n += 1
+                ctx.charge(n * atom_c + tile_c)
+                if found:
+                    ctx.atomic_add(total, 0, found)
+
+        return body, lambda: int(total[0])
+
+    output, stats = rt.run_launch(
+        sched,
+        costs,
+        compute=compute,
+        kernel=kernel,
+        extras={"app": "triangle_count"},
     )
     return AppResult(
-        output=int(count),
+        output=output,
         stats=stats,
         schedule=sched.name,
         extras={"upper_edges": upper.nnz},
@@ -118,3 +166,17 @@ def _symmetrized(adjacency: CsrMatrix) -> CsrMatrix:
     ).sum_duplicates()
     ones = CooMatrix.from_arrays(sym.rows, sym.cols, np.ones(sym.nnz), sym.shape)
     return coo_to_csr(ones)
+
+
+register_app(
+    AppSpec(
+        name="triangle_count",
+        driver=triangle_count_driver,
+        default_schedule="lrb",
+        oracle=lambda p: triangle_count_reference(p.adjacency),
+        sweep_problem=lambda matrix, seed: SimpleNamespace(adjacency=matrix),
+        match=lambda output, expected: int(output) == int(expected),
+        accepts=lambda matrix: matrix.num_rows == matrix.num_cols,
+        description="per-edge neighbor-intersection triangle counting",
+    )
+)

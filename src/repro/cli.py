@@ -8,8 +8,14 @@ CLI reproduces both entry points::
     python -m repro spmv --dataset power_a19 --schedule merge_path --validate
     python -m repro spmv -m datasets/chesapeake.mtx --schedule merge_path --validate
     python -m repro sweep --kernels merge_path cub cusparse --scale smoke -o out.csv
+    python -m repro sweep --app bfs --kernels group_mapped merge_path --scale smoke
     python -m repro datasets
+    python -m repro apps
     python -m repro table1
+
+The ``sweep`` command is generic over the application registry
+(``--app``, default ``spmv``) and can fan independent cells out over a
+thread pool (``--workers``).
 """
 
 from __future__ import annotations
@@ -50,17 +56,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--kernels",
         nargs="+",
-        default=["merge_path", "thread_mapped", "group_mapped", "cub", "cusparse"],
+        default=None,
+        help="kernel list (default: three schedules plus the app's baselines)",
     )
+    p_sweep.add_argument("--app", default="spmv",
+                         help="registered application to sweep (default: spmv)")
     p_sweep.add_argument("--scale", default="standard")
     p_sweep.add_argument("--limit", type=int, default=None,
                          help="run only the first N datasets (like run.sh)")
     p_sweep.add_argument("-o", "--output", type=Path, default=None,
                          help="CSV output path (default: stdout)")
     p_sweep.add_argument("--spec", default="V100")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="thread-pool width for independent cells")
+    p_sweep.add_argument("--seed", type=int, default=None,
+                         help="input seed (default: the shared DEFAULT_SEED)")
+    p_sweep.add_argument("--no-validate", action="store_true",
+                         help="skip the per-cell oracle check")
 
     p_ds = sub.add_parser("datasets", help="list the corpus")
     p_ds.add_argument("--scale", default="standard")
+
+    sub.add_parser("apps", help="list registered applications")
 
     sub.add_parser("table1", help="print the Table 1 LoC comparison")
 
@@ -83,7 +100,9 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
         ds = load_dataset(args.dataset, args.scale)
         matrix, name = ds.matrix, ds.name
 
-    x = np.random.default_rng(args.seed).uniform(size=matrix.num_cols)
+    from .engine import input_vector
+
+    x = input_vector(matrix.num_cols, args.seed)
     result = spmv(matrix, x, schedule=args.schedule, spec=get_spec(args.spec))
 
     print(f"Elapsed (ms): {result.elapsed_ms:.6f}")
@@ -102,22 +121,37 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import csv as _csv
 
-    from .evaluation.harness import run_spmv_suite, write_csv
+    from .engine import DEFAULT_SEED, get_app
+    from .evaluation.harness import PAPER_FIELDS, run_suite, write_csv
     from .gpusim.arch import get_spec
 
-    rows = run_spmv_suite(
-        args.kernels, scale=args.scale, spec=get_spec(args.spec), limit=args.limit
+    kernels = args.kernels
+    if kernels is None:
+        # Three representative schedules plus whatever hardwired
+        # baselines the app competes against (SpMV: cub + cusparse).
+        kernels = ["merge_path", "thread_mapped", "group_mapped"]
+        kernels += sorted(get_app(args.app).baselines)
+
+    rows = run_suite(
+        kernels,
+        app=args.app,
+        scale=args.scale,
+        spec=get_spec(args.spec),
+        limit=args.limit,
+        seed=DEFAULT_SEED if args.seed is None else args.seed,
+        validate=not args.no_validate,
+        max_workers=args.workers,
     )
+    include_app = args.app != "spmv"
     if args.output is not None:
-        path = write_csv(rows, args.output)
+        path = write_csv(rows, args.output, include_app=include_app)
         print(f"wrote {len(rows)} rows to {path}")
     else:
-        writer = _csv.DictWriter(
-            sys.stdout, fieldnames=["kernel", "dataset", "rows", "cols", "nnzs", "elapsed"]
-        )
+        fields = (["app"] if include_app else []) + list(PAPER_FIELDS)
+        writer = _csv.DictWriter(sys.stdout, fieldnames=fields)
         writer.writeheader()
         for r in rows:
-            writer.writerow(r.as_csv_dict())
+            writer.writerow(r.as_csv_dict(include_app=include_app))
     return 0
 
 
@@ -130,6 +164,16 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
             f"{d.name:<20} {d.family:<9} {d.rows:>8} {d.cols:>8} {d.nnz:>10} "
             f"{d.meta['cv']:>7.2f}"
         )
+    return 0
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    from .engine import available_apps, get_app
+
+    print(f"{'name':<16} {'default schedule':<18} description")
+    for name in available_apps():
+        app = get_app(name)
+        print(f"{name:<16} {app.default_schedule:<18} {app.description}")
     return 0
 
 
@@ -158,6 +202,7 @@ _COMMANDS = {
     "spmv": _cmd_spmv,
     "sweep": _cmd_sweep,
     "datasets": _cmd_datasets,
+    "apps": _cmd_apps,
     "table1": _cmd_table1,
     "schedules": _cmd_schedules,
 }

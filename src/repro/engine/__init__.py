@@ -1,0 +1,78 @@
+"""``repro.engine`` -- the unified execution layer.
+
+This package is the refactor of the per-app execution plumbing into one
+subsystem, mirroring the paper's separation of concerns at the code
+level:
+
+* **Registry** (:mod:`.registry`) -- each application is declared once
+  as an :class:`AppSpec`: a driver written against the Runtime API, an
+  oracle, a sweep-problem builder, optional hardwired baselines.
+  :func:`run_app` is the single entry point the public app functions
+  delegate to.
+* **Dispatch** (:mod:`.dispatch`) -- pluggable engines.
+  :class:`VectorEngine` produces the functional result with NumPy and
+  prices the launch with the schedule's analytic planner;
+  :class:`SimtEngine` interprets the kernel body thread-by-thread on the
+  simulated GPU and folds the measured charges with the same cost model.
+  Applications describe launches; they never branch on an engine name.
+* **Plan cache** (:mod:`.plan_cache`) -- planning is pure, so the vector
+  engine memoizes :meth:`Schedule.plan` keyed by (schedule, launch
+  geometry, work content, costs, device): corpus sweeps stop re-planning
+  identical launches.
+* **Seeding** (:mod:`.seeding`) -- the one deterministic input-vector
+  helper shared by the CLI, the harness and the tests.
+
+The layering is strict: ``engine`` depends on ``core`` + ``gpusim`` +
+``sparse`` only; ``apps`` depends on ``engine``; ``evaluation`` and the
+CLI consume both through the registry.
+"""
+
+from .dispatch import (
+    ENGINES,
+    Engine,
+    EngineError,
+    Runtime,
+    SimtEngine,
+    VectorEngine,
+    get_engine,
+    resolve_schedule,
+)
+from .plan_cache import (
+    PlanCache,
+    clear_plan_cache,
+    global_plan_cache,
+    work_fingerprint,
+)
+from .registry import (
+    AppSpec,
+    available_apps,
+    default_match,
+    get_app,
+    register_app,
+    run_app,
+)
+from .seeding import DEFAULT_SEED, input_matrix, input_vector
+
+__all__ = [
+    "ENGINES",
+    "Engine",
+    "EngineError",
+    "Runtime",
+    "SimtEngine",
+    "VectorEngine",
+    "get_engine",
+    "resolve_schedule",
+    "PlanCache",
+    "clear_plan_cache",
+    "global_plan_cache",
+    "work_fingerprint",
+    "AppSpec",
+    "available_apps",
+    "default_match",
+    "get_app",
+    "register_app",
+    "run_app",
+    "DEFAULT_SEED",
+    "input_matrix",
+    "input_vector",
+]

@@ -1,0 +1,250 @@
+"""Engine dispatch: the one execution layer behind every application.
+
+The paper's pitch is that an application is *declared* once -- work, cost
+model, kernel body -- and the execution strategy is an identifier switch.
+This module is that switch.  An :class:`Engine` knows how to execute one
+load-balanced kernel launch described by four pieces:
+
+* a resolved :class:`~repro.core.schedule.Schedule` (the assignment),
+* the application's :class:`~repro.core.schedule.WorkCosts`,
+* ``compute()`` -- the vectorized functional result (NumPy, corpus scale),
+* ``kernel()`` -- a factory returning ``(body, finalize)`` where ``body``
+  is a per-thread kernel for the SIMT interpreter and ``finalize()``
+  yields the output buffer.
+
+:class:`VectorEngine` runs ``compute()`` and prices the launch through
+the analytic planner (memoized via :mod:`repro.engine.plan_cache`);
+:class:`SimtEngine` interprets ``kernel()`` thread-by-thread and folds
+the measured charges with the same cost model, so the two engines are
+cross-validated by construction.  Applications never branch on an engine
+name -- they describe launches to a :class:`Runtime` and the selected
+engine does the rest.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from ..core.heuristic import HeuristicParams, select_schedule
+from ..core.schedule import LaunchParams, Schedule, WorkCosts, make_schedule
+from ..core.work import WorkSpec
+from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.cost_model import KernelStats, kernel_stats_from_thread_cycles
+from ..gpusim.simt import launch_interpreted
+from ..sparse.csr import CsrMatrix
+from .plan_cache import PlanCache, global_plan_cache
+
+__all__ = [
+    "ENGINES",
+    "EngineError",
+    "Engine",
+    "VectorEngine",
+    "SimtEngine",
+    "get_engine",
+    "Runtime",
+    "resolve_schedule",
+]
+
+#: Engine identifiers the dispatcher understands.
+ENGINES = ("vector", "simt")
+
+
+class EngineError(RuntimeError):
+    """Raised when an engine cannot execute the requested launch."""
+
+
+def resolve_schedule(
+    schedule: str | Schedule,
+    work: WorkSpec,
+    spec: GpuSpec,
+    launch: LaunchParams | None = None,
+    *,
+    matrix: CsrMatrix | None = None,
+    heuristic: HeuristicParams | None = None,
+    **options,
+) -> Schedule:
+    """Turn a schedule name (or ``"heuristic"``) into an instance.
+
+    ``"heuristic"`` applies the Section 6.2 selector and requires the
+    matrix for its shape statistics.
+    """
+    if isinstance(schedule, Schedule):
+        return schedule
+    name = schedule
+    if name == "heuristic":
+        if matrix is None:
+            raise ValueError("schedule='heuristic' requires the input matrix")
+        name = select_schedule(matrix, heuristic or HeuristicParams())
+    return make_schedule(name, work, spec, launch, **options)
+
+
+class Engine(ABC):
+    """One strategy for executing a load-balanced kernel launch."""
+
+    name: str = "?"
+
+    @abstractmethod
+    def launch(
+        self,
+        sched: Schedule,
+        costs: WorkCosts,
+        *,
+        compute: Callable[[], Any] | None = None,
+        kernel: Callable[[], tuple[Callable, Callable[[], Any]]] | None = None,
+        extras: dict | None = None,
+        cache_key: tuple | None = None,
+    ) -> tuple[Any, KernelStats]:
+        """Execute one launch; return ``(output, stats)``."""
+
+
+class VectorEngine(Engine):
+    """Vectorized functional result + analytic planner timing.
+
+    The corpus-scale engine: the output comes from the application's
+    NumPy ``compute()`` and the time from the schedule's planner view,
+    memoized in a :class:`~repro.engine.plan_cache.PlanCache` so sweeps
+    never re-plan an identical launch.
+    """
+
+    name = "vector"
+
+    def __init__(self, plan_cache: PlanCache | None = None):
+        self.plan_cache = global_plan_cache() if plan_cache is None else plan_cache
+
+    def launch(self, sched, costs, *, compute=None, kernel=None, extras=None,
+               cache_key=None):
+        if compute is None:
+            raise EngineError("the vector engine requires a compute() callable")
+        output = compute()
+        stats = self.plan_cache.plan(
+            sched, costs, extras=extras, options_key=cache_key
+        )
+        return output, stats
+
+
+class SimtEngine(Engine):
+    """Thread-by-thread ground truth on the interpreted GPU.
+
+    Executes the application's kernel body through the schedule's
+    per-thread ranges and folds the measured per-thread charges with the
+    same cost model the planners use (small inputs only).
+    """
+
+    name = "simt"
+
+    def launch(self, sched, costs, *, compute=None, kernel=None, extras=None,
+               cache_key=None):
+        if kernel is None:
+            app = (extras or {}).get("app", "this application")
+            raise EngineError(f"{app} does not define a SIMT kernel body")
+        body, finalize = kernel()
+        result = launch_interpreted(
+            body, sched.launch.grid_dim, sched.launch.block_dim, (), sched.spec
+        )
+        stats = kernel_stats_from_thread_cycles(
+            result.thread_cycles,
+            sched.launch.grid_dim,
+            sched.launch.block_dim,
+            sched.spec,
+            setup_cycles=sched.setup_cycles(costs),
+            extras={"schedule": sched.name, "engine": "simt", **(extras or {})},
+        )
+        return finalize(), stats
+
+
+_ENGINE_TYPES: dict[str, type[Engine]] = {
+    "vector": VectorEngine,
+    "simt": SimtEngine,
+}
+
+
+def get_engine(engine: str | Engine) -> Engine:
+    """Resolve an engine identifier (or pass an instance through)."""
+    if isinstance(engine, Engine):
+        return engine
+    if engine not in _ENGINE_TYPES:
+        raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")
+    return _ENGINE_TYPES[engine]()
+
+
+class Runtime:
+    """Execution context of one application run.
+
+    Binds the engine, the device spec and the schedule selection
+    (name/instance + launch override + schedule options) so application
+    drivers only describe *what* to launch.  Iterative applications
+    (frontier loops, power iteration, multi-pass SpGEMM) call
+    :meth:`run_launch` once per kernel; single-kernel applications call
+    it once.
+    """
+
+    def __init__(
+        self,
+        engine: str | Engine = "vector",
+        *,
+        spec: GpuSpec = V100,
+        schedule: str | Schedule | None = None,
+        launch: LaunchParams | None = None,
+        schedule_options: dict | None = None,
+    ):
+        self.engine = get_engine(engine)
+        self.spec = spec
+        self.schedule = schedule
+        self.launch = launch
+        self.schedule_options = dict(schedule_options or {})
+
+    def schedule_for(
+        self,
+        work: WorkSpec,
+        *,
+        matrix: CsrMatrix | None = None,
+        launch: LaunchParams | None | type[Ellipsis] = ...,
+    ) -> Schedule:
+        """Resolve this runtime's schedule selection against a workload.
+
+        ``launch`` overrides the runtime's launch parameters for this one
+        resolution (pass ``None`` to force the schedule's default sizing
+        -- e.g. a secondary pass whose work shape differs from the first).
+        """
+        if self.schedule is None:
+            raise EngineError("Runtime was constructed without a schedule")
+        return resolve_schedule(
+            self.schedule,
+            work,
+            self.spec,
+            self.launch if launch is ... else launch,
+            matrix=matrix,
+            **self.schedule_options,
+        )
+
+    def _cache_key(self) -> tuple | None:
+        # Only name-resolved schedules are cacheable: a pre-built Schedule
+        # instance may carry options the key cannot observe.
+        if not isinstance(self.schedule, str):
+            return None
+        try:
+            options = tuple(sorted(self.schedule_options.items()))
+            hash(options)
+        except TypeError:
+            return None
+        return (self.schedule,) + options
+
+    def run_launch(
+        self,
+        sched: Schedule,
+        costs: WorkCosts,
+        *,
+        compute: Callable[[], Any] | None = None,
+        kernel: Callable[[], tuple[Callable, Callable[[], Any]]] | None = None,
+        extras: dict | None = None,
+    ) -> tuple[Any, KernelStats]:
+        """Execute one described launch on the bound engine."""
+        return self.engine.launch(
+            sched,
+            costs,
+            compute=compute,
+            kernel=kernel,
+            extras=extras,
+            cache_key=self._cache_key(),
+        )

@@ -1,0 +1,136 @@
+"""Memoized schedule planning for corpus-scale sweeps.
+
+Analytic planning (:meth:`Schedule.plan`) is pure: its result depends
+only on the schedule class and options, the launch geometry, the work
+shape, the device spec and the application's :class:`WorkCosts`.  Corpus
+sweeps re-plan the exact same launch over and over -- every figure bench
+re-runs the same (kernel, dataset) grid -- so the vector engine routes
+planning through this small thread-safe LRU memo.
+
+The key deliberately fingerprints the *content* of the work (a CRC over
+the tile-offsets array), not object identity, so two loads of the same
+corpus dataset hit the same entry.  Schedules constructed by the caller
+as instances (rather than resolved from a registry name) bypass the
+cache entirely: an instance may carry options the key cannot observe.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.schedule import Schedule, WorkCosts
+from ..core.work import WorkSpec
+from ..gpusim.cost_model import KernelStats
+
+__all__ = [
+    "PlanCache",
+    "work_fingerprint",
+    "global_plan_cache",
+    "clear_plan_cache",
+]
+
+
+def work_fingerprint(work: WorkSpec) -> tuple[int, int, int]:
+    """Content hash of a workload: counts plus a CRC of the offsets."""
+    offsets = np.ascontiguousarray(work.tile_offsets, dtype=np.int64)
+    return (work.num_tiles, work.num_atoms, zlib.crc32(offsets.tobytes()))
+
+
+class PlanCache:
+    """A bounded LRU memo for :meth:`Schedule.plan` results.
+
+    ``plan`` is a drop-in replacement for calling ``sched.plan(costs)``
+    directly; unhashable keys and ``options_key=None`` fall through to a
+    live plan, so the cache can never change behaviour -- only skip
+    recomputation.  ``hits`` / ``misses`` counters make the skipping
+    observable to tests.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, KernelStats] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def key_for(
+        self, sched: Schedule, costs: WorkCosts, options_key: tuple
+    ) -> tuple:
+        """Cache key of one planned launch (content-based, no identity)."""
+        return (
+            type(sched).__name__,
+            sched.name,
+            sched.launch.grid_dim,
+            sched.launch.block_dim,
+            sched.spec,
+            work_fingerprint(sched.work),
+            costs,
+            options_key,
+        )
+
+    def plan(
+        self,
+        sched: Schedule,
+        costs: WorkCosts,
+        *,
+        extras: dict | None = None,
+        options_key: tuple | None = None,
+    ) -> KernelStats:
+        """Return ``sched.plan(costs, extras=...)``, memoized when safe."""
+        if options_key is None or self.maxsize <= 0:
+            return sched.plan(costs, extras=extras)
+        try:
+            key = self.key_for(sched, costs, options_key)
+            hash(key)
+        except TypeError:  # unhashable spec/costs/options: plan live
+            return sched.plan(costs, extras=extras)
+
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if cached is not None:
+            # Same numbers, caller's extras (extras never affect timing).
+            return replace(cached, extras={"schedule": sched.name, **(extras or {})})
+
+        stats = sched.plan(costs, extras=extras)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = stats
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return stats
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+
+_GLOBAL = PlanCache()
+
+
+def global_plan_cache() -> PlanCache:
+    """The process-wide cache the default :class:`VectorEngine` uses."""
+    return _GLOBAL
+
+
+def clear_plan_cache() -> None:
+    """Drop every memoized plan (tests; spec/cost-constant experiments)."""
+    _GLOBAL.clear()

@@ -1,0 +1,145 @@
+"""The application registry: each app declared exactly once.
+
+An :class:`AppSpec` is the framework-side record of one application --
+its driver (the declaration of work, costs and kernel body, written
+against :class:`~repro.engine.dispatch.Runtime` only), its oracle, how
+to derive a sweep problem from a corpus matrix, and any hardwired
+baseline implementations it competes against.  Registering the spec is
+what makes an application sweepable: the harness, the CLI and the parity
+tests all enumerate :func:`available_apps` instead of hand-listing
+modules.
+
+:func:`run_app` is the single entry point every public app function
+(``spmv(...)``, ``bfs(...)``, ...) delegates to: it builds the Runtime
+from the caller's engine/schedule/spec selection and invokes the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.schedule import LaunchParams, Schedule
+from ..gpusim.arch import GpuSpec, V100
+from .dispatch import Engine, Runtime
+
+__all__ = [
+    "AppSpec",
+    "register_app",
+    "get_app",
+    "available_apps",
+    "run_app",
+    "default_match",
+]
+
+
+def default_match(output: Any, expected: Any) -> bool:
+    """Default output validation: dense ``allclose`` at oracle tolerance."""
+    if hasattr(output, "to_dense"):
+        output = output.to_dense()
+    if hasattr(expected, "to_dense"):
+        expected = expected.to_dense()
+    return bool(
+        np.allclose(
+            np.asarray(output, dtype=np.float64),
+            np.asarray(expected, dtype=np.float64),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Everything the framework needs to know about one application.
+
+    Attributes
+    ----------
+    driver:
+        ``driver(problem, runtime) -> AppResult``.  The whole application:
+        builds WorkSpecs, resolves schedules via ``runtime.schedule_for``
+        and executes kernels via ``runtime.run_launch`` -- never touching
+        an engine name.
+    oracle:
+        ``oracle(problem) -> expected output`` (pure NumPy/CPU reference).
+    sweep_problem:
+        ``sweep_problem(matrix, seed) -> problem``: derive a deterministic
+        problem instance from a corpus CSR matrix, for harness sweeps.
+    match:
+        ``match(output, expected) -> bool`` -- output validation predicate.
+    baselines:
+        Hardwired comparator kernels by name (e.g. SpMV's ``cub``):
+        ``fn(problem, spec) -> (output, stats)``.
+    accepts:
+        Optional predicate over the input matrix restricting which corpus
+        datasets the app can sweep (e.g. graph apps need square inputs).
+    """
+
+    name: str
+    driver: Callable[[Any, Runtime], Any]
+    default_schedule: str = "merge_path"
+    oracle: Callable[[Any], Any] | None = None
+    sweep_problem: Callable[[Any, int], Any] | None = None
+    match: Callable[[Any, Any], bool] = default_match
+    baselines: dict = field(default_factory=dict)
+    accepts: Callable[[Any], bool] | None = None
+    description: str = ""
+
+
+_APPS: dict[str, AppSpec] = {}
+
+
+def register_app(spec: AppSpec) -> AppSpec:
+    """Add an application to the global registry (import-time hook)."""
+    if spec.name in _APPS:
+        raise ValueError(f"app {spec.name!r} already registered")
+    _APPS[spec.name] = spec
+    return spec
+
+
+def _ensure_registered() -> None:
+    # Importing the apps package registers every built-in application.
+    from .. import apps  # noqa: F401
+
+
+def available_apps() -> list[str]:
+    """Names of every registered application."""
+    _ensure_registered()
+    return sorted(_APPS)
+
+
+def get_app(name: str) -> AppSpec:
+    """Look up a registered application by name."""
+    _ensure_registered()
+    if name not in _APPS:
+        raise KeyError(f"unknown app {name!r}; available: {available_apps()}")
+    return _APPS[name]
+
+
+def run_app(
+    app: str | AppSpec,
+    problem: Any,
+    *,
+    schedule: str | Schedule | None = None,
+    engine: str | Engine = "vector",
+    spec: GpuSpec = V100,
+    launch: LaunchParams | None = None,
+    **schedule_options,
+):
+    """Run one application through the engine dispatcher.
+
+    ``schedule=None`` selects the app's registered default.  ``engine``
+    is an identifier from :data:`~repro.engine.dispatch.ENGINES` or an
+    :class:`~repro.engine.dispatch.Engine` instance.
+    """
+    app_spec = app if isinstance(app, AppSpec) else get_app(app)
+    runtime = Runtime(
+        engine,
+        spec=spec,
+        schedule=app_spec.default_schedule if schedule is None else schedule,
+        launch=launch,
+        schedule_options=schedule_options,
+    )
+    return app_spec.driver(problem, runtime)

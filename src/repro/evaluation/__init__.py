@@ -1,6 +1,7 @@
 """``repro.evaluation`` -- the harness reproducing the paper's evaluation.
 
-* :mod:`.harness` -- (kernel x dataset) sweeps, paper-schema CSVs;
+* :mod:`.harness` -- (app x kernel x dataset) sweeps over the app
+  registry, paper-schema CSVs, optional thread-pool parallelism;
 * :mod:`.figures` -- data series + summary stats for Figures 2, 3 and 4;
 * :mod:`.loc` -- the lines-of-code measurement behind Table 1.
 """
@@ -14,7 +15,16 @@ from .figures import (
     fig3_landscape,
     fig4_heuristic,
 )
-from .harness import SPMV_KERNELS, SpmvRow, run_spmv_kernel, run_spmv_suite, write_csv
+from .harness import (
+    SPMV_KERNELS,
+    SpmvRow,
+    SweepRow,
+    run_cell,
+    run_spmv_kernel,
+    run_spmv_suite,
+    run_suite,
+    write_csv,
+)
 from .loc import PAPER_TABLE1, Table1Row, count_loc, source_loc, table1_rows
 
 __all__ = [
@@ -27,8 +37,11 @@ __all__ = [
     "fig4_heuristic",
     "SPMV_KERNELS",
     "SpmvRow",
+    "SweepRow",
+    "run_cell",
     "run_spmv_kernel",
     "run_spmv_suite",
+    "run_suite",
     "write_csv",
     "PAPER_TABLE1",
     "Table1Row",

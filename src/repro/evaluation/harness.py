@@ -1,33 +1,51 @@
-"""The experiment harness: (kernel x dataset) sweeps producing paper CSVs.
+"""The experiment harness: (app x kernel x dataset) sweeps producing CSVs.
 
-Mirrors the artifact's ``run.sh``: the output schema is the paper's
-appendix sample --
+Mirrors the artifact's ``run.sh``, generalized over the application
+registry: any registered app (:func:`repro.engine.available_apps`) can
+be swept over the corpus with any schedule kernel, plus the app's own
+hardwired baselines (SpMV competes against ``cub`` and ``cusparse``).
+The output schema is the paper's appendix sample --
 
     kernel,dataset,rows,cols,nnzs,elapsed
 
-``elapsed`` is the simulated kernel time in model milliseconds.
+``elapsed`` is the simulated kernel time in model milliseconds.  Sweeps
+of a non-default app prepend an ``app`` column.
+
+Cells are independent, so :func:`run_suite` optionally fans them out
+over a thread pool (``max_workers``); the engine's plan cache is
+thread-safe and shared, so concurrent cells still skip duplicate
+planning.  Results are returned in deterministic (dataset, kernel)
+order regardless of worker count.
 """
 
 from __future__ import annotations
 
 import csv
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-import numpy as np
-
-from ..apps.spmv import spmv
-from ..baselines.cub_spmv import cub_spmv
-from ..baselines.cusparse_spmv import cusparse_spmv
+from ..core.schedule import available_schedules
+from ..engine import DEFAULT_SEED, get_app, run_app
 from ..gpusim.arch import GpuSpec, V100
 from ..sparse.corpus import Dataset, build_corpus
 
-__all__ = ["SpmvRow", "run_spmv_suite", "write_csv", "SPMV_KERNELS"]
+__all__ = [
+    "SweepRow",
+    "SpmvRow",
+    "run_cell",
+    "run_suite",
+    "run_spmv_kernel",
+    "run_spmv_suite",
+    "write_csv",
+    "SPMV_KERNELS",
+    "PAPER_FIELDS",
+]
 
-#: Kernel identifiers the harness understands.  Framework schedules are
-#: referenced by their registry names; ``heuristic`` is the Section 6.2
-#: selector; ``cub`` and ``cusparse`` are the baselines.
+#: Kernel identifiers the harness understands for SpMV.  Framework
+#: schedules are referenced by their registry names; ``heuristic`` is the
+#: Section 6.2 selector; ``cub`` and ``cusparse`` are the baselines.
 SPMV_KERNELS = (
     "thread_mapped",
     "warp_mapped",
@@ -41,9 +59,12 @@ SPMV_KERNELS = (
     "cusparse",
 )
 
+#: The paper's CSV schema (appendix sample).
+PAPER_FIELDS = ("kernel", "dataset", "rows", "cols", "nnzs", "elapsed")
+
 
 @dataclass(frozen=True)
-class SpmvRow:
+class SweepRow:
     """One harness result cell, in the paper's CSV schema."""
 
     kernel: str
@@ -52,12 +73,15 @@ class SpmvRow:
     cols: int
     nnzs: int
     elapsed: float  # model milliseconds
+    #: The swept application (the paper's CSV is SpMV-only; other apps
+    #: surface this as an extra leading column).
+    app: str = "spmv"
     #: Extra diagnostics not in the paper's schema (kept out of the CSV
     #: unless asked for).
     meta: dict = field(default_factory=dict, compare=False)
 
-    def as_csv_dict(self) -> dict:
-        return {
+    def as_csv_dict(self, include_app: bool = False) -> dict:
+        row = {
             "kernel": self.kernel,
             "dataset": self.dataset,
             "rows": self.rows,
@@ -65,44 +89,68 @@ class SpmvRow:
             "nnzs": self.nnzs,
             "elapsed": self.elapsed,
         }
+        if include_app:
+            row = {"app": self.app, **row}
+        return row
 
 
-def _deterministic_x(n: int, seed: int = 12345) -> np.ndarray:
-    return np.random.default_rng(seed).uniform(0.5, 1.5, size=n)
+#: Backward-compatible alias: the SpMV-era row type.
+SpmvRow = SweepRow
 
 
-def run_spmv_kernel(
-    kernel: str, dataset: Dataset, spec: GpuSpec = V100
-) -> SpmvRow:
-    """Run one (kernel, dataset) cell and validate the result."""
+def _build_problem(app_spec, app: str, dataset: Dataset, seed: int):
+    """Derive the app's deterministic problem instance from one dataset."""
     matrix = dataset.matrix
-    x = _deterministic_x(matrix.num_cols)
-    if kernel == "cub":
-        y, stats = cub_spmv(matrix, x, spec)
+    if app_spec.accepts is not None and not app_spec.accepts(matrix):
+        raise ValueError(
+            f"app {app!r} cannot run on dataset {dataset.name!r} "
+            f"(shape {matrix.shape})"
+        )
+    if app_spec.sweep_problem is None:  # pragma: no cover - all built-ins have one
+        raise ValueError(f"app {app!r} does not define a sweep problem")
+    return app_spec.sweep_problem(matrix, seed)
+
+
+def _execute_cell(
+    app_spec,
+    app: str,
+    kernel: str,
+    dataset: Dataset,
+    problem,
+    expected,
+    spec: GpuSpec,
+    engine: str,
+    validate: bool,
+) -> SweepRow:
+    """Run one prepared (app, kernel, dataset) cell and validate it."""
+    matrix = dataset.matrix
+    if kernel in app_spec.baselines:
+        y, stats = app_spec.baselines[kernel](problem, spec)
         meta = dict(stats.extras)
-    elif kernel == "cusparse":
-        y, stats = cusparse_spmv(matrix, x, spec)
-        meta = dict(stats.extras)
-    elif kernel in SPMV_KERNELS:
-        result = spmv(matrix, x, schedule=kernel, spec=spec)
+    elif kernel == "heuristic" or kernel in available_schedules():
+        result = run_app(app_spec, problem, schedule=kernel, engine=engine, spec=spec)
         y, stats = result.output, result.stats
         meta = {"schedule": result.schedule}
     else:
-        raise KeyError(f"unknown kernel {kernel!r}; known: {SPMV_KERNELS}")
-    # The artifact's --validate flag: every cell checks its output.
-    from ..baselines.reference import dense_spmv_oracle
-
-    expected = dense_spmv_oracle(matrix, x)
-    if not np.allclose(y, expected, rtol=1e-9, atol=1e-12):
-        raise AssertionError(
-            f"validation failed for kernel={kernel} dataset={dataset.name}"
+        known = tuple(sorted(app_spec.baselines)) + ("heuristic",) + tuple(
+            available_schedules()
         )
+        raise KeyError(f"unknown kernel {kernel!r}; known: {known}")
+
+    # The artifact's --validate flag: every cell checks its output.
+    if validate and expected is not None:
+        if not app_spec.match(y, expected):
+            raise AssertionError(
+                f"validation failed for app={app} kernel={kernel} "
+                f"dataset={dataset.name}"
+            )
     meta.update(
         simt_efficiency=stats.simt_efficiency,
         occupancy=stats.occupancy,
         utilization=stats.utilization,
     )
-    return SpmvRow(
+    return SweepRow(
+        app=app,
         kernel=kernel,
         dataset=dataset.name,
         rows=matrix.num_rows,
@@ -113,6 +161,98 @@ def run_spmv_kernel(
     )
 
 
+def run_cell(
+    app: str,
+    kernel: str,
+    dataset: Dataset,
+    spec: GpuSpec = V100,
+    *,
+    engine: str = "vector",
+    seed: int = DEFAULT_SEED,
+    validate: bool = True,
+) -> SweepRow:
+    """Run one (app, kernel, dataset) cell and validate the result."""
+    app_spec = get_app(app)
+    problem = _build_problem(app_spec, app, dataset, seed)
+    expected = (
+        app_spec.oracle(problem)
+        if validate and app_spec.oracle is not None
+        else None
+    )
+    return _execute_cell(
+        app_spec, app, kernel, dataset, problem, expected, spec, engine, validate
+    )
+
+
+def run_suite(
+    kernels: Sequence[str],
+    *,
+    app: str = "spmv",
+    scale: str = "standard",
+    spec: GpuSpec = V100,
+    datasets: Iterable[Dataset] | None = None,
+    limit: int | None = None,
+    engine: str = "vector",
+    seed: int = DEFAULT_SEED,
+    validate: bool = True,
+    max_workers: int | None = None,
+) -> list[SweepRow]:
+    """Run a kernel list over the corpus (the ``run.sh`` loop), generic.
+
+    Datasets the app cannot accept (e.g. rectangular matrices for graph
+    apps) are skipped.  With ``max_workers`` > 1 the independent cells
+    run on a thread pool; results keep the serial (dataset, kernel)
+    order either way.
+    """
+    app_spec = get_app(app)
+    ds = list(datasets) if datasets is not None else build_corpus(scale, limit=limit)
+    if app_spec.accepts is not None:
+        ds = [d for d in ds if app_spec.accepts(d.matrix)]
+
+    # Problem construction and the oracle are per-dataset, not per-cell:
+    # build them once and share across the dataset's kernels (drivers
+    # treat problem inputs as read-only, so this is thread-safe too).
+    def prep(dataset: Dataset):
+        problem = _build_problem(app_spec, app, dataset, seed)
+        expected = (
+            app_spec.oracle(problem)
+            if validate and app_spec.oracle is not None
+            else None
+        )
+        return problem, expected
+
+    def one(cell) -> SweepRow:
+        dataset, kernel, problem, expected = cell
+        return _execute_cell(
+            app_spec, app, kernel, dataset, problem, expected, spec, engine, validate
+        )
+
+    if max_workers is not None and max_workers > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            # Dataset prep (including expensive oracles) fans out too.
+            prepped = list(pool.map(prep, ds))
+            cells = [
+                (dataset, kernel, problem, expected)
+                for dataset, (problem, expected) in zip(ds, prepped)
+                for kernel in kernels
+            ]
+            return list(pool.map(one, cells))
+    rows: list[SweepRow] = []
+    for dataset in ds:
+        problem, expected = prep(dataset)
+        rows.extend(
+            one((dataset, kernel, problem, expected)) for kernel in kernels
+        )
+    return rows
+
+
+def run_spmv_kernel(
+    kernel: str, dataset: Dataset, spec: GpuSpec = V100
+) -> SweepRow:
+    """Run one SpMV (kernel, dataset) cell (backward-compatible wrapper)."""
+    return run_cell("spmv", kernel, dataset, spec)
+
+
 def run_spmv_suite(
     kernels: Sequence[str],
     *,
@@ -120,25 +260,27 @@ def run_spmv_suite(
     spec: GpuSpec = V100,
     datasets: Iterable[Dataset] | None = None,
     limit: int | None = None,
-) -> list[SpmvRow]:
-    """Run a kernel list over the corpus (the ``run.sh`` loop)."""
-    ds = list(datasets) if datasets is not None else build_corpus(scale, limit=limit)
-    rows: list[SpmvRow] = []
-    for dataset in ds:
-        for kernel in kernels:
-            rows.append(run_spmv_kernel(kernel, dataset, spec))
-    return rows
+) -> list[SweepRow]:
+    """The SpMV sweep of the paper's evaluation (wrapper over run_suite)."""
+    return run_suite(
+        kernels, app="spmv", scale=scale, spec=spec, datasets=datasets, limit=limit
+    )
 
 
-def write_csv(rows: Iterable[SpmvRow], path: str | Path) -> Path:
-    """Write harness rows in the paper's CSV schema."""
+def write_csv(
+    rows: Iterable[SweepRow], path: str | Path, *, include_app: bool = False
+) -> Path:
+    """Write harness rows in the paper's CSV schema.
+
+    ``include_app`` prepends the swept application as a leading column
+    (for multi-app sweeps; the default matches the paper's schema).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    fields = (["app"] if include_app else []) + list(PAPER_FIELDS)
     with open(path, "w", newline="", encoding="utf-8") as fh:
-        writer = csv.DictWriter(
-            fh, fieldnames=["kernel", "dataset", "rows", "cols", "nnzs", "elapsed"]
-        )
+        writer = csv.DictWriter(fh, fieldnames=fields)
         writer.writeheader()
         for row in rows:
-            writer.writerow(row.as_csv_dict())
+            writer.writerow(row.as_csv_dict(include_app=include_app))
     return path

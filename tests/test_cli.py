@@ -78,6 +78,25 @@ class TestSweepCommand:
         assert "wrote 4 rows" in out
         assert target.exists()
 
+    def test_non_spmv_app_adds_app_column(self):
+        code, out = run_cli(
+            "sweep", "--app", "histogram", "--kernels", "thread_mapped",
+            "--scale", "smoke", "--limit", "2",
+        )
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(out)))
+        assert len(rows) == 2
+        assert rows[0]["app"] == "histogram"
+
+    def test_parallel_workers(self):
+        code, out = run_cli(
+            "sweep", "--kernels", "merge_path", "--scale", "smoke",
+            "--limit", "3", "--workers", "3",
+        )
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(out)))
+        assert len(rows) == 3
+
 
 class TestInfoCommands:
     def test_datasets_listing(self):
@@ -98,6 +117,12 @@ class TestInfoCommands:
         listed = out.split()
         assert "merge_path" in listed
         assert "dynamic_queue" in listed
+
+    def test_apps_listing(self):
+        code, out = run_cli("apps")
+        assert code == 0
+        for name in ("spmv", "bfs", "spgemm", "histogram"):
+            assert name in out
 
 
 class TestParser:

@@ -77,16 +77,22 @@ class TestHarnessValidationPath:
     def test_validation_catches_corrupted_kernel(self, monkeypatch):
         """Inject a wrong result into the harness: the --validate analog
         must catch it rather than emit a bogus row."""
+        import importlib
+
         import repro.evaluation.harness as harness
         from repro.sparse.corpus import load_dataset
 
+        # The package re-exports the function under the same name, so
+        # fetch the module object itself to patch the callable.
+        cub_mod = importlib.import_module("repro.baselines.cub_spmv")
+
         ds = load_dataset("tiny_diag_32", "smoke")
-        real = harness.cub_spmv
+        real = cub_mod.cub_spmv
 
         def corrupted(matrix, x, spec):
             y, stats = real(matrix, x, spec)
             return y + 1.0, stats
 
-        monkeypatch.setattr(harness, "cub_spmv", corrupted)
+        monkeypatch.setattr(cub_mod, "cub_spmv", corrupted)
         with pytest.raises(AssertionError, match="validation failed"):
             harness.run_spmv_kernel("cub", ds)
