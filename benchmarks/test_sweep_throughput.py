@@ -1,0 +1,136 @@
+"""Corpus-sweep throughput bench: cold vs warm plan cache, thread vs process.
+
+Times one small (kernel x dataset) grid under every harness fan-out
+configuration and both plan-cache temperatures, then writes
+``BENCH_sweep.json`` at the repo root so subsequent PRs have a
+throughput trajectory to regress against:
+
+* ``cold_serial`` / ``warm_serial`` -- same process, plan cache cold
+  (fresh directory) vs warm (second sweep of the identical grid);
+* ``thread`` / ``process`` -- the two pool executors over the same grid;
+* ``fresh_process_cold`` / ``fresh_process_warm`` -- a subprocess
+  sweeping the grid against the persistent cache directory: the second
+  one must report ``disk_hits > 0`` (persistence verified by counters,
+  not timing).
+
+Runs in smoke mode by default (tiny corpus; CI-friendly).  Environment
+knobs scale it up for real benching: ``REPRO_BENCH_SWEEP_SCALE``
+(corpus scale), ``REPRO_BENCH_SWEEP_LIMIT`` (dataset count).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.engine import clear_plan_cache, configure_global_plan_cache
+from repro.evaluation.harness import run_suite
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+BENCH_PATH = REPO_ROOT / "BENCH_sweep.json"
+
+SWEEP_SCALE = os.environ.get("REPRO_BENCH_SWEEP_SCALE", "smoke")
+SWEEP_LIMIT = int(os.environ.get("REPRO_BENCH_SWEEP_LIMIT", "8"))
+KERNELS = ["merge_path", "thread_mapped", "group_mapped", "lrb"]
+
+
+def _timed_sweep(**kwargs) -> tuple[float, list]:
+    t0 = time.perf_counter()
+    rows = run_suite(KERNELS, app="spmv", scale=SWEEP_SCALE, limit=SWEEP_LIMIT,
+                     **kwargs)
+    return time.perf_counter() - t0, rows
+
+
+def _fresh_process_sweep(cache_dir: Path) -> tuple[float, dict]:
+    """Sweep the same grid in a brand-new interpreter; report cache info."""
+    script = (
+        "import json, sys, time\n"
+        "from repro.evaluation.harness import run_suite\n"
+        "from repro.engine import global_plan_cache\n"
+        "t0 = time.perf_counter()\n"
+        f"run_suite({KERNELS!r}, app='spmv', scale={SWEEP_SCALE!r},\n"
+        f"          limit={SWEEP_LIMIT}, plan_cache_dir=sys.argv[1])\n"
+        "elapsed = time.perf_counter() - t0\n"
+        "print(json.dumps({'elapsed_s': elapsed,\n"
+        "                  'cache': global_plan_cache().info()}))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", script, str(cache_dir)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    payload = json.loads(out.stdout.strip().splitlines()[-1])
+    return payload["elapsed_s"], payload["cache"]
+
+
+def test_sweep_throughput(tmp_path):
+    cache_dir = tmp_path / "plans"
+
+    # -- In-process: cold vs warm, then the two pool executors. --------
+    configure_global_plan_cache(cache_dir)
+    try:
+        clear_plan_cache()
+        cold_s, cold_rows = _timed_sweep(executor="serial")
+        warm_s, warm_rows = _timed_sweep(executor="serial")
+        thread_s, thread_rows = _timed_sweep(executor="thread", max_workers=4)
+        process_s, process_rows = _timed_sweep(
+            executor="process", max_workers=2, plan_cache_dir=cache_dir
+        )
+        from repro.engine import global_plan_cache
+
+        in_process_info = global_plan_cache().info()
+    finally:
+        configure_global_plan_cache(None)
+
+    def key(rows):
+        return [(r.kernel, r.dataset, r.elapsed) for r in rows]
+
+    # Identical deterministic row sets under every configuration.
+    assert key(cold_rows) == key(warm_rows) == key(thread_rows) == key(process_rows)
+
+    # -- Fresh processes against the persistent directory. -------------
+    fresh_cache = tmp_path / "plans-fresh"
+    fp_cold_s, fp_cold_info = _fresh_process_sweep(fresh_cache)
+    fp_warm_s, fp_warm_info = _fresh_process_sweep(fresh_cache)
+
+    # The acceptance criterion: a warm second sweep of the same grid in a
+    # fresh process serves plans from disk, not by replanning.
+    assert fp_cold_info["misses"] > 0 and fp_cold_info["disk_hits"] == 0
+    assert fp_warm_info["disk_hits"] > 0
+    assert fp_warm_info["misses"] == 0
+
+    payload = {
+        "benchmark": "sweep_throughput",
+        "app": "spmv",
+        "scale": SWEEP_SCALE,
+        "limit": SWEEP_LIMIT,
+        "kernels": KERNELS,
+        "grid_cells": len(cold_rows),
+        "timings_s": {
+            "cold_serial": round(cold_s, 6),
+            "warm_serial": round(warm_s, 6),
+            "thread_pool_w4": round(thread_s, 6),
+            "process_pool_w2": round(process_s, 6),
+            "fresh_process_cold": round(fp_cold_s, 6),
+            "fresh_process_warm": round(fp_warm_s, 6),
+        },
+        "speedups": {
+            "warm_over_cold_serial": round(cold_s / warm_s, 3) if warm_s else None,
+            "fresh_process_warm_over_cold": (
+                round(fp_cold_s / fp_warm_s, 3) if fp_warm_s else None
+            ),
+        },
+        "plan_cache": {
+            "in_process_final": in_process_info,
+            "fresh_process_cold": fp_cold_info,
+            "fresh_process_warm": fp_warm_info,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\n=== BENCH_sweep.json ===\n{json.dumps(payload, indent=2)}")

@@ -111,6 +111,30 @@ def histogram_driver(problem, rt: Runtime) -> AppResult:
     return AppResult(output=output, stats=stats, schedule=sched.name)
 
 
+def _sample_check(problem, output, seed: int, samples: int = 8) -> bool:
+    """Independent sampled dense check: recount sampled bins with a
+    scalar ``int.bit_length`` binning over raw ``row_offsets`` diffs --
+    no ``lrb_bins``, no ``bincount`` -- so the histogram is validated
+    against a formulation that shares nothing with the reference."""
+    from collections import Counter
+
+    matrix = problem.matrix
+    hist = np.asarray(output, dtype=np.int64)
+    if hist.ndim != 1 or hist.size == 0:
+        return False
+    # bit_length(n) == ceil(log2(n + 1)) for n >= 0: the LRB bin id.
+    # One pass builds the per-bin recount; the sampled bins then compare
+    # in O(1) each.
+    bins = Counter(
+        int(x).bit_length() for x in np.diff(matrix.row_offsets)
+    )
+    if bins and max(bins) >= hist.size:
+        return False
+    rng = np.random.default_rng(seed)
+    sampled = rng.integers(0, hist.size, size=min(samples, hist.size))
+    return all(int(hist[b]) == bins[b] for b in set(sampled.tolist()))
+
+
 register_app(
     AppSpec(
         name="histogram",
@@ -118,6 +142,7 @@ register_app(
         default_schedule="thread_mapped",
         oracle=lambda p: degree_histogram_reference(p.matrix),
         sweep_problem=lambda matrix, seed: SimpleNamespace(matrix=matrix),
+        sample_check=_sample_check,
         description="LRB-binned row-degree histogram (minimal app)",
     )
 )

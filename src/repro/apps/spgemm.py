@@ -183,23 +183,46 @@ def spgemm_driver(problem, rt: Runtime) -> AppResult:
     def compute_kernel():
         # Product atoms are row-sorted (they inherit A's atom order), so
         # atom ids index the expanded arrays directly; accumulation goes
-        # to a dense scratch C that finalize re-sparsifies.
-        dense_c = np.zeros((a.num_rows, b.num_cols))
+        # into hashed per-row accumulators -- the GPU's shared-memory
+        # hash-table pattern -- so scratch is O(nnz(C row)), never
+        # O(num_cols) per row.  ``defaultdict(float)`` keeps the
+        # interpreter's atomic read-modify-write semantics intact.
+        from collections import defaultdict
+
+        row_acc = [defaultdict(float) for _ in range(a.num_rows)]
         cols, vals = products["cols"], products["vals"]
         atom_c, tile_c = tile_charges(sched2, costs2)
 
         def body(ctx):
             for row in sched2.tiles(ctx):
                 n = 0
+                acc = row_acc[row]
                 for p in sched2.atoms(ctx, row):
-                    ctx.atomic_add(dense_c[row], cols[p], vals[p])
+                    ctx.atomic_add(acc, int(cols[p]), vals[p])
                     n += 1
                 ctx.charge(n * atom_c + tile_c)
 
         def finalize() -> CsrMatrix:
-            rows, cols_nz = np.nonzero(dense_c)
+            rows_nz: list[np.ndarray] = []
+            cols_nz: list[np.ndarray] = []
+            vals_nz: list[np.ndarray] = []
+            for row, acc in enumerate(row_acc):
+                if not acc:
+                    continue
+                keys = np.fromiter(acc.keys(), dtype=np.int64, count=len(acc))
+                order = np.argsort(keys)
+                rows_nz.append(np.full(keys.size, row, dtype=np.int64))
+                cols_nz.append(keys[order])
+                vals_nz.append(
+                    np.fromiter(acc.values(), dtype=np.float64, count=len(acc))[order]
+                )
+            if not rows_nz:
+                return CsrMatrix.empty((a.num_rows, b.num_cols))
             coo = CooMatrix.from_arrays(
-                rows, cols_nz, dense_c[rows, cols_nz], (a.num_rows, b.num_cols)
+                np.concatenate(rows_nz),
+                np.concatenate(cols_nz),
+                np.concatenate(vals_nz),
+                (a.num_rows, b.num_cols),
             )
             return coo_to_csr(coo)
 

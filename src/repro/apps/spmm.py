@@ -126,6 +126,29 @@ def _check_b(matrix: CsrMatrix, b) -> np.ndarray:
     return arr
 
 
+def _sample_check(problem, output, seed: int, samples: int = 8) -> bool:
+    """Independent sampled dense check: re-derive sampled (row, column)
+    entries of C from the CSR slice and B column directly (per-entry
+    ``dot``), independent of the oracle's scatter-add."""
+    matrix, b = problem.matrix, problem.b
+    c = np.asarray(output, dtype=np.float64)
+    if c.shape != (matrix.num_rows, b.shape[1]):
+        return False
+    if matrix.num_rows == 0 or b.shape[1] == 0:  # nothing to sample
+        return True
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, matrix.num_rows, size=samples)
+    cols = rng.integers(0, b.shape[1], size=samples)
+    for r, j in zip(rows, cols):
+        lo, hi = matrix.row_offsets[r], matrix.row_offsets[r + 1]
+        expected = float(
+            np.dot(matrix.values[lo:hi], b[matrix.col_indices[lo:hi], j])
+        )
+        if not np.isclose(c[r, j], expected, rtol=1e-9, atol=1e-12):
+            return False
+    return True
+
+
 register_app(
     AppSpec(
         name="spmm",
@@ -135,6 +158,7 @@ register_app(
         sweep_problem=lambda matrix, seed: SimpleNamespace(
             matrix=matrix, b=input_matrix(matrix.num_cols, SWEEP_B_COLS, seed)
         ),
+        sample_check=_sample_check,
         description="sparse-dense matrix multiply C = A @ B (Listing 4)",
     )
 )

@@ -180,6 +180,35 @@ def _sweep_problem(matrix: CsrMatrix, seed: int) -> SimpleNamespace:
     )
 
 
+def _sample_check(problem, output, seed: int, samples: int = 8) -> bool:
+    """Independent sampled dense check: re-derive sampled (slice, rank)
+    entries of M by walking the slice's nonzeros scalar-by-scalar --
+    independent of the oracle's vectorized scatter-add."""
+    tensor, b, c = problem.tensor, problem.b, problem.c
+    m = np.asarray(output, dtype=np.float64)
+    rank = b.shape[1]
+    if m.shape != (tensor.shape[0], rank):
+        return False
+    if tensor.shape[0] == 0 or rank == 0:  # nothing to sample
+        return True
+    offs = tensor.slice_offsets()
+    rng = np.random.default_rng(seed)
+    slices = rng.integers(0, tensor.shape[0], size=samples)
+    ranks = rng.integers(0, rank, size=samples)
+    for i, r in zip(slices, ranks):
+        lo, hi = int(offs[i]), int(offs[i + 1])
+        expected = 0.0
+        for nz in range(lo, hi):
+            expected += (
+                float(tensor.values[nz])
+                * float(b[tensor.j[nz], r])
+                * float(c[tensor.k[nz], r])
+            )
+        if not np.isclose(m[i, r], expected, rtol=1e-9, atol=1e-12):
+            return False
+    return True
+
+
 register_app(
     AppSpec(
         name="spmttkrp",
@@ -187,6 +216,7 @@ register_app(
         default_schedule="merge_path",
         oracle=lambda p: spmttkrp_reference(p.tensor, p.b, p.c),
         sweep_problem=_sweep_problem,
+        sample_check=_sample_check,
         description="sparse tensor MTTKRP over mode-0 slices",
     )
 )

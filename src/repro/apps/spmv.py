@@ -135,6 +135,27 @@ def _sweep_problem(matrix: CsrMatrix, seed: int) -> SimpleNamespace:
     )
 
 
+def _sample_check(problem, output, seed: int, samples: int = 8) -> bool:
+    """Independent sampled dense check: re-derive a few output rows
+    directly from the CSR slices (per-row ``dot``), a different reduction
+    path than both the oracle's and compute()'s scatter-add."""
+    matrix, x = problem.matrix, problem.x
+    y = np.asarray(output, dtype=np.float64)
+    if y.shape != (matrix.num_rows,):
+        return False
+    rng = np.random.default_rng(seed)
+    rows = rng.choice(matrix.num_rows, size=min(samples, matrix.num_rows),
+                      replace=False)
+    for r in rows:
+        lo, hi = matrix.row_offsets[r], matrix.row_offsets[r + 1]
+        expected = float(
+            np.dot(matrix.values[lo:hi], x[matrix.col_indices[lo:hi]])
+        )
+        if not np.isclose(y[r], expected, rtol=1e-9, atol=1e-12):
+            return False
+    return True
+
+
 def _cub_baseline(problem, spec):
     from ..baselines.cub_spmv import cub_spmv
 
@@ -154,6 +175,7 @@ register_app(
         default_schedule="merge_path",
         oracle=lambda p: spmv_reference(p.matrix, p.x),
         sweep_problem=_sweep_problem,
+        sample_check=_sample_check,
         baselines={"cub": _cub_baseline, "cusparse": _cusparse_baseline},
         description="sparse matrix-vector multiply y = A @ x (Listing 3)",
     )

@@ -14,8 +14,17 @@ CLI reproduces both entry points::
     python -m repro table1
 
 The ``sweep`` command is generic over the application registry
-(``--app``, default ``spmv``) and can fan independent cells out over a
-thread pool (``--workers``).
+(``--app``, default ``spmv``) and exposes the harness's performance
+knobs:
+
+* ``--executor {serial,thread,process}`` -- fan independent cells out
+  over a thread pool, or shard by dataset over a process pool (each
+  worker builds the problem/oracle once per dataset and runs every
+  kernel of that cell, dodging the GIL for pure-Python sections);
+* ``--workers N`` -- pool width for either executor;
+* ``--plan-cache-dir DIR`` -- persist the engine's plan cache on disk so
+  repeated sweeps of the same grid (and every process-pool worker)
+  start warm instead of re-planning identical launches.
 """
 
 from __future__ import annotations
@@ -68,7 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CSV output path (default: stdout)")
     p_sweep.add_argument("--spec", default="V100")
     p_sweep.add_argument("--workers", type=int, default=None,
-                         help="thread-pool width for independent cells")
+                         help="pool width for independent cells/shards")
+    p_sweep.add_argument("--executor", default="thread",
+                         choices=["serial", "thread", "process"],
+                         help="fan-out strategy: thread pool over cells or "
+                              "process pool over per-dataset shards")
+    p_sweep.add_argument("--plan-cache-dir", type=Path, default=None,
+                         help="directory for the persistent plan cache "
+                              "(warm-starts repeated sweeps and workers)")
     p_sweep.add_argument("--seed", type=int, default=None,
                          help="input seed (default: the shared DEFAULT_SEED)")
     p_sweep.add_argument("--no-validate", action="store_true",
@@ -141,6 +157,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=DEFAULT_SEED if args.seed is None else args.seed,
         validate=not args.no_validate,
         max_workers=args.workers,
+        executor=args.executor,
+        plan_cache_dir=args.plan_cache_dir,
     )
     include_app = args.app != "spmv"
     if args.output is not None:

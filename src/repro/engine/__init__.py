@@ -18,7 +18,10 @@ level:
 * **Plan cache** (:mod:`.plan_cache`) -- planning is pure, so the vector
   engine memoizes :meth:`Schedule.plan` keyed by (schedule, launch
   geometry, work content, costs, device): corpus sweeps stop re-planning
-  identical launches.
+  identical launches.  An optional disk layer (``plan_cache_dir`` on the
+  harness/CLI, or ``REPRO_PLAN_CACHE_DIR``) persists plans across
+  processes, so repeated figure benches and process-pool sweep workers
+  start warm.
 * **Seeding** (:mod:`.seeding`) -- the one deterministic input-vector
   helper shared by the CLI, the harness and the tests.
 
@@ -38,8 +41,11 @@ from .dispatch import (
     resolve_schedule,
 )
 from .plan_cache import (
+    CACHE_DIR_ENV,
+    CACHE_FORMAT_VERSION,
     PlanCache,
     clear_plan_cache,
+    configure_global_plan_cache,
     global_plan_cache,
     work_fingerprint,
 )
@@ -62,8 +68,11 @@ __all__ = [
     "VectorEngine",
     "get_engine",
     "resolve_schedule",
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
     "PlanCache",
     "clear_plan_cache",
+    "configure_global_plan_cache",
     "global_plan_cache",
     "work_fingerprint",
     "AppSpec",

@@ -13,7 +13,9 @@ load-balanced kernel launch described by four pieces:
   yields the output buffer.
 
 :class:`VectorEngine` runs ``compute()`` and prices the launch through
-the analytic planner (memoized via :mod:`repro.engine.plan_cache`);
+the analytic planner (memoized via :mod:`repro.engine.plan_cache`, whose
+optional disk layer persists plans across processes -- see the
+``plan_cache_dir`` knob on the harness and CLI);
 :class:`SimtEngine` interprets ``kernel()`` thread-by-thread and folds
 the measured charges with the same cost model, so the two engines are
 cross-validated by construction.  Applications never branch on an engine

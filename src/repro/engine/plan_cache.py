@@ -12,14 +12,39 @@ the tile-offsets array), not object identity, so two loads of the same
 corpus dataset hit the same entry.  Schedules constructed by the caller
 as instances (rather than resolved from a registry name) bypass the
 cache entirely: an instance may carry options the key cannot observe.
+
+Persistence
+-----------
+On top of the in-memory LRU sits an optional *disk layer*: give the
+cache a directory (``PlanCache(cache_dir=...)``, the harness/CLI
+``plan_cache_dir`` knob, or the ``REPRO_PLAN_CACHE_DIR`` environment
+variable for the process-wide cache) and every planned launch is also
+written to one file under that directory, keyed by the same content
+fingerprints.  A fresh process -- a repeated figure bench, or a
+:class:`~concurrent.futures.ProcessPoolExecutor` sweep worker -- then
+starts warm: in-memory misses fall through to the disk before planning
+live.
+
+The disk layer can never change behaviour, only skip recomputation:
+
+* writes are atomic (temp file + ``os.replace``), so concurrent workers
+  sharing one directory race benignly (last write wins, all writes
+  contain the identical pure plan);
+* entries are versioned (:data:`CACHE_FORMAT_VERSION`) and carry their
+  full key; a version bump, a hash collision or a corrupted/truncated
+  file reads as a miss, never as an error.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import replace
+from pathlib import Path
 
 import numpy as np
 
@@ -31,8 +56,20 @@ __all__ = [
     "PlanCache",
     "work_fingerprint",
     "global_plan_cache",
+    "configure_global_plan_cache",
     "clear_plan_cache",
+    "CACHE_FORMAT_VERSION",
+    "CACHE_DIR_ENV",
 ]
+
+#: Bump whenever the key schema, the pickled payload layout, or the
+#: planner semantics change: old cache directories then read as cold
+#: (version-mismatch entries are ignored) instead of serving stale plans.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable the process-wide cache reads its directory from
+#: (how process-pool sweep workers under ``spawn`` inherit the knob).
+CACHE_DIR_ENV = "REPRO_PLAN_CACHE_DIR"
 
 
 def work_fingerprint(work: WorkSpec) -> tuple[int, int, int]:
@@ -48,16 +85,84 @@ class PlanCache:
     directly; unhashable keys and ``options_key=None`` fall through to a
     live plan, so the cache can never change behaviour -- only skip
     recomputation.  ``hits`` / ``misses`` counters make the skipping
-    observable to tests.
+    observable to tests; with a ``cache_dir``, ``disk_hits`` counts the
+    subset of hits served from the persistent layer (warm starts of a
+    fresh process).
     """
 
-    def __init__(self, maxsize: int = 1024):
+    def __init__(self, maxsize: int = 1024, cache_dir: str | Path | None = None):
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
         self._entries: OrderedDict[tuple, KernelStats] = OrderedDict()
         self._lock = threading.Lock()
+        self._cache_dir: Path | None = None
+        self.set_cache_dir(cache_dir)
 
+    # ------------------------------------------------------------------
+    # Persistence plumbing
+    # ------------------------------------------------------------------
+    @property
+    def cache_dir(self) -> Path | None:
+        return self._cache_dir
+
+    def set_cache_dir(self, cache_dir: str | Path | None) -> None:
+        """Attach (or detach, with ``None``) the disk layer."""
+        if cache_dir is None:
+            self._cache_dir = None
+            return
+        path = Path(cache_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        self._cache_dir = path
+
+    def _entry_path(self, key: tuple) -> Path:
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        assert self._cache_dir is not None
+        return self._cache_dir / f"plan-{digest}.pkl"
+
+    def _disk_load(self, key: tuple) -> KernelStats | None:
+        """Read one persisted plan; any defect whatsoever reads as a miss."""
+        if self._cache_dir is None:
+            return None
+        try:
+            with open(self._entry_path(key), "rb") as fh:
+                payload = pickle.load(fh)
+            if not isinstance(payload, dict):
+                return None
+            if payload.get("version") != CACHE_FORMAT_VERSION:
+                return None
+            if payload.get("key") != key:  # digest collision or stale repr
+                return None
+            stats = payload.get("stats")
+            return stats if isinstance(stats, KernelStats) else None
+        except Exception:  # corrupted, truncated, unreadable: fall through
+            return None
+
+    def _disk_store(self, key: tuple, stats: KernelStats) -> None:
+        """Persist one plan atomically; failures are silently dropped."""
+        if self._cache_dir is None:
+            return
+        path = self._entry_path(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}-{threading.get_ident()}")
+        try:
+            payload = {
+                "version": CACHE_FORMAT_VERSION,
+                "key": key,
+                "stats": stats,
+            }
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:  # unpicklable key part, disk full, ...: skip
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Memoization
+    # ------------------------------------------------------------------
     def key_for(
         self, sched: Schedule, costs: WorkCosts, options_key: tuple
     ) -> tuple:
@@ -95,6 +200,16 @@ class PlanCache:
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+        if cached is None:
+            cached = self._disk_load(key)
+            if cached is not None:
+                with self._lock:
+                    self.hits += 1
+                    self.disk_hits += 1
+                    self._entries[key] = cached
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.maxsize:
+                        self._entries.popitem(last=False)
         if cached is not None:
             # Same numbers, caller's extras (extras never affect timing).
             return replace(cached, extras={"schedule": sched.name, **(extras or {})})
@@ -105,29 +220,63 @@ class PlanCache:
             self._entries[key] = stats
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+        self._disk_store(key, stats)
         return stats
 
     def clear(self) -> None:
+        """Drop the in-memory entries and counters (disk files persist)."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.disk_hits = 0
 
     def info(self) -> dict:
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "disk_hits": self.disk_hits,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
+                "cache_dir": str(self._cache_dir) if self._cache_dir else None,
             }
 
 
-_GLOBAL = PlanCache()
+def _build_global() -> PlanCache:
+    # The env-var attachment must honour the disk layer's contract --
+    # never change behaviour, only skip recomputation -- so an unusable
+    # REPRO_PLAN_CACHE_DIR (unwritable, path through a file, ...) reads
+    # as "no disk layer" instead of crashing every import of the package.
+    try:
+        return PlanCache(cache_dir=os.environ.get(CACHE_DIR_ENV) or None)
+    except OSError:
+        return PlanCache()
+
+
+_GLOBAL = _build_global()
 
 
 def global_plan_cache() -> PlanCache:
     """The process-wide cache the default :class:`VectorEngine` uses."""
+    return _GLOBAL
+
+
+def configure_global_plan_cache(
+    cache_dir: str | Path | None = ...,  # type: ignore[assignment]
+    *,
+    maxsize: int | None = None,
+) -> PlanCache:
+    """Reconfigure the process-wide cache (the CLI/harness knob).
+
+    ``cache_dir`` attaches the persistent disk layer (``None`` detaches
+    it; leave it unset to keep the current directory); ``maxsize``
+    resizes the in-memory LRU.  Returns the global cache for chaining.
+    """
+    if cache_dir is not ...:
+        _GLOBAL.set_cache_dir(cache_dir)
+    if maxsize is not None:
+        _GLOBAL.maxsize = maxsize
     return _GLOBAL
 
 

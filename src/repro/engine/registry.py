@@ -75,6 +75,16 @@ class AppSpec:
     accepts:
         Optional predicate over the input matrix restricting which corpus
         datasets the app can sweep (e.g. graph apps need square inputs).
+    sample_check:
+        ``sample_check(problem, output, seed) -> bool`` -- a *second*,
+        genuinely independent validation: re-derives a seeded sample of
+        the output entries directly from the problem data
+        (O(samples * row_nnz) for per-row outputs; one cheap linear
+        pass for aggregate outputs like the histogram), through a
+        different code path than both the oracle and the vector
+        engine's ``compute()``.  Used by the
+        harness's ``--validate`` so the vector path is never compared
+        only against the function that produced it.
     """
 
     name: str
@@ -85,6 +95,7 @@ class AppSpec:
     match: Callable[[Any, Any], bool] = default_match
     baselines: dict = field(default_factory=dict)
     accepts: Callable[[Any], bool] | None = None
+    sample_check: Callable[[Any, Any, int], bool] | None = None
     description: str = ""
 
 

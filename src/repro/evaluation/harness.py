@@ -11,23 +11,45 @@ The output schema is the paper's appendix sample --
 ``elapsed`` is the simulated kernel time in model milliseconds.  Sweeps
 of a non-default app prepend an ``app`` column.
 
-Cells are independent, so :func:`run_suite` optionally fans them out
-over a thread pool (``max_workers``); the engine's plan cache is
-thread-safe and shared, so concurrent cells still skip duplicate
-planning.  Results are returned in deterministic (dataset, kernel)
-order regardless of worker count.
+Performance knobs
+-----------------
+The sweep hot path is tunable along three independent axes; all three
+are exposed by the CLI (``python -m repro sweep ...``) as well:
+
+``executor`` (CLI ``--executor {serial,thread,process}``)
+    How independent cells fan out.  ``thread`` shares one address space
+    (cheap, but pure-Python sections contend on the GIL); ``process``
+    runs one worker *process* per dataset shard -- each shard builds its
+    problem and oracle exactly once and runs every kernel of the cell
+    against them, so construction cost is amortized and never crosses a
+    pickle boundary per cell.  ``serial`` forces the in-process loop.
+``max_workers`` (CLI ``--workers``)
+    Pool width for either executor.  ``None``/1 with
+    ``executor="thread"`` degrades to serial; ``process`` defaults to
+    ``os.cpu_count()`` capped by the number of dataset shards.
+``plan_cache_dir`` (CLI ``--plan-cache-dir``)
+    Directory for the persistent plan cache
+    (:mod:`repro.engine.plan_cache`).  Repeated sweeps of the same grid
+    -- and every process-pool worker -- start warm: plans are keyed by
+    content fingerprints and survive process exit.  Workers inherit the
+    directory automatically.
+
+Results are returned in deterministic (dataset, kernel) order regardless
+of executor or worker count, and row sets are identical across all three
+executors for the same seed.
 """
 
 from __future__ import annotations
 
 import csv
-from concurrent.futures import ThreadPoolExecutor
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..core.schedule import available_schedules
-from ..engine import DEFAULT_SEED, get_app, run_app
+from ..engine import DEFAULT_SEED, configure_global_plan_cache, get_app, run_app
 from ..gpusim.arch import GpuSpec, V100
 from ..sparse.corpus import Dataset, build_corpus
 
@@ -41,6 +63,7 @@ __all__ = [
     "write_csv",
     "SPMV_KERNELS",
     "PAPER_FIELDS",
+    "EXECUTORS",
 ]
 
 #: Kernel identifiers the harness understands for SpMV.  Framework
@@ -61,6 +84,9 @@ SPMV_KERNELS = (
 
 #: The paper's CSV schema (appendix sample).
 PAPER_FIELDS = ("kernel", "dataset", "rows", "cols", "nnzs", "elapsed")
+
+#: Fan-out strategies :func:`run_suite` understands.
+EXECUTORS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -121,6 +147,7 @@ def _execute_cell(
     spec: GpuSpec,
     engine: str,
     validate: bool,
+    seed: int = DEFAULT_SEED,
 ) -> SweepRow:
     """Run one prepared (app, kernel, dataset) cell and validate it."""
     matrix = dataset.matrix
@@ -144,6 +171,15 @@ def _execute_cell(
                 f"validation failed for app={app} kernel={kernel} "
                 f"dataset={dataset.name}"
             )
+    if validate and app_spec.sample_check is not None:
+        # Second, genuinely independent oracle: a seeded sampled dense
+        # check (O(samples * row_nnz)), so the vector path is validated
+        # against more than the function that produced it.
+        if not app_spec.sample_check(problem, y, _sample_seed(app, kernel, dataset, seed)):
+            raise AssertionError(
+                f"sampled dense check failed for app={app} kernel={kernel} "
+                f"dataset={dataset.name}"
+            )
     meta.update(
         simt_efficiency=stats.simt_efficiency,
         occupancy=stats.occupancy,
@@ -159,6 +195,14 @@ def _execute_cell(
         elapsed=stats.elapsed_ms,
         meta=meta,
     )
+
+
+def _sample_seed(app: str, kernel: str, dataset: Dataset, seed: int) -> int:
+    """Deterministic per-cell seed for the sampled validation draws."""
+    import zlib
+
+    tag = f"{app}/{kernel}/{dataset.name}/{seed}".encode()
+    return zlib.crc32(tag) & 0x7FFFFFFF
 
 
 def run_cell(
@@ -180,8 +224,57 @@ def run_cell(
         else None
     )
     return _execute_cell(
-        app_spec, app, kernel, dataset, problem, expected, spec, engine, validate
+        app_spec, app, kernel, dataset, problem, expected, spec, engine, validate, seed
     )
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One picklable unit of process-pool work: a whole dataset cell.
+
+    The worker rebuilds the (expensive) problem instance and oracle once
+    and amortizes them over every kernel of the shard -- matrices cross
+    the pickle boundary once per dataset, never once per cell.
+    """
+
+    app: str
+    kernels: tuple
+    dataset: Dataset
+    spec: GpuSpec
+    engine: str
+    seed: int
+    validate: bool
+    plan_cache_dir: str | None
+
+
+def _run_shard(task: _ShardTask) -> list[SweepRow]:
+    """Process-pool worker: run every kernel of one (app, dataset) shard."""
+    if task.plan_cache_dir is not None:
+        # Warm-start the worker from the persistent plan cache (and
+        # persist whatever it plans for the next process).
+        configure_global_plan_cache(task.plan_cache_dir)
+    app_spec = get_app(task.app)
+    problem = _build_problem(app_spec, task.app, task.dataset, task.seed)
+    expected = (
+        app_spec.oracle(problem)
+        if task.validate and app_spec.oracle is not None
+        else None
+    )
+    return [
+        _execute_cell(
+            app_spec,
+            task.app,
+            kernel,
+            task.dataset,
+            problem,
+            expected,
+            task.spec,
+            task.engine,
+            task.validate,
+            task.seed,
+        )
+        for kernel in task.kernels
+    ]
 
 
 def run_suite(
@@ -196,18 +289,79 @@ def run_suite(
     seed: int = DEFAULT_SEED,
     validate: bool = True,
     max_workers: int | None = None,
+    executor: str = "thread",
+    plan_cache_dir: str | Path | None = None,
 ) -> list[SweepRow]:
     """Run a kernel list over the corpus (the ``run.sh`` loop), generic.
 
     Datasets the app cannot accept (e.g. rectangular matrices for graph
-    apps) are skipped.  With ``max_workers`` > 1 the independent cells
-    run on a thread pool; results keep the serial (dataset, kernel)
-    order either way.
+    apps) are skipped.  Fan-out, worker count and plan-cache persistence
+    are controlled by the performance knobs documented in the module
+    docstring (``executor`` / ``max_workers`` / ``plan_cache_dir``);
+    results keep the serial (dataset, kernel) order under every
+    configuration.
     """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
     app_spec = get_app(app)
     ds = list(datasets) if datasets is not None else build_corpus(scale, limit=limit)
     if app_spec.accepts is not None:
         ds = [d for d in ds if app_spec.accepts(d.matrix)]
+    cache_dir = None if plan_cache_dir is None else str(plan_cache_dir)
+    if cache_dir is None:
+        return _run_suite_prepared(
+            kernels, app, app_spec, ds, spec, engine, seed, validate,
+            max_workers, executor, cache_dir,
+        )
+    # Attach the persistent layer for the duration of the sweep only:
+    # callers must not find the process-global cache silently re-pointed
+    # at a (possibly temporary) directory after run_suite returns.
+    from ..engine import global_plan_cache
+
+    previous = global_plan_cache().cache_dir
+    configure_global_plan_cache(cache_dir)
+    try:
+        return _run_suite_prepared(
+            kernels, app, app_spec, ds, spec, engine, seed, validate,
+            max_workers, executor, cache_dir,
+        )
+    finally:
+        configure_global_plan_cache(previous)
+
+
+def _run_suite_prepared(
+    kernels: Sequence[str],
+    app: str,
+    app_spec,
+    ds: list[Dataset],
+    spec: GpuSpec,
+    engine: str,
+    seed: int,
+    validate: bool,
+    max_workers: int | None,
+    executor: str,
+    cache_dir: str | None,
+) -> list[SweepRow]:
+    """The executor dispatch behind :func:`run_suite` (cache configured)."""
+    if executor == "process" and ds:
+        shards = [
+            _ShardTask(
+                app=app,
+                kernels=tuple(kernels),
+                dataset=dataset,
+                spec=spec,
+                engine=engine,
+                seed=seed,
+                validate=validate,
+                plan_cache_dir=cache_dir,
+            )
+            for dataset in ds
+        ]
+        workers = max_workers if max_workers is not None else os.cpu_count() or 1
+        workers = max(1, min(workers, len(shards)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            per_shard = list(pool.map(_run_shard, shards))
+        return [row for shard_rows in per_shard for row in shard_rows]
 
     # Problem construction and the oracle are per-dataset, not per-cell:
     # build them once and share across the dataset's kernels (drivers
@@ -224,10 +378,11 @@ def run_suite(
     def one(cell) -> SweepRow:
         dataset, kernel, problem, expected = cell
         return _execute_cell(
-            app_spec, app, kernel, dataset, problem, expected, spec, engine, validate
+            app_spec, app, kernel, dataset, problem, expected, spec, engine,
+            validate, seed,
         )
 
-    if max_workers is not None and max_workers > 1:
+    if executor == "thread" and max_workers is not None and max_workers > 1:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             # Dataset prep (including expensive oracles) fans out too.
             prepped = list(pool.map(prep, ds))

@@ -1,0 +1,237 @@
+"""Tests for the plan cache's persistent (disk-backed) layer.
+
+The disk layer must be *pure acceleration*: version mismatches,
+corrupted files, digest collisions and concurrent writers can only ever
+read as cache misses -- never as an error, never as a wrong plan.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.schedule import make_schedule
+from repro.core.work import WorkSpec
+from repro.engine import (
+    CACHE_DIR_ENV,
+    CACHE_FORMAT_VERSION,
+    PlanCache,
+    VectorEngine,
+    configure_global_plan_cache,
+    input_vector,
+)
+from repro.apps.common import spmv_costs
+from repro.gpusim.arch import TINY_GPU
+from repro.sparse import generators as gen
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+@pytest.fixture
+def matrix():
+    return gen.power_law(24, 24, 3.0, 1.9, seed=3)
+
+
+def _plan_once(cache: PlanCache, matrix):
+    work = WorkSpec.from_csr(matrix)
+    sched = make_schedule("merge_path", work, TINY_GPU)
+    costs = spmv_costs(TINY_GPU)
+    return cache.plan(sched, costs, options_key=("merge_path",))
+
+
+def _entry_files(cache_dir: Path) -> list[Path]:
+    return sorted(cache_dir.glob("plan-*.pkl"))
+
+
+class TestRoundTrip:
+    def test_disk_round_trip_between_cache_instances(self, tmp_path, matrix):
+        first = PlanCache(cache_dir=tmp_path)
+        stats_cold = _plan_once(first, matrix)
+        assert first.misses == 1 and first.disk_hits == 0
+        assert len(_entry_files(tmp_path)) == 1
+
+        # A brand-new cache (empty memory) over the same directory serves
+        # the identical plan from disk.
+        second = PlanCache(cache_dir=tmp_path)
+        stats_warm = _plan_once(second, matrix)
+        assert second.misses == 0
+        assert second.hits == 1 and second.disk_hits == 1
+        assert stats_warm == stats_cold  # every timing field identical
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path, matrix):
+        _plan_once(PlanCache(cache_dir=tmp_path), matrix)  # seed the disk
+        cache = PlanCache(cache_dir=tmp_path)
+        _plan_once(cache, matrix)
+        assert cache.disk_hits == 1
+        _plan_once(cache, matrix)
+        assert cache.hits == 2 and cache.disk_hits == 1  # second hit: memory
+
+    def test_no_cache_dir_means_no_files(self, tmp_path, matrix):
+        cache = PlanCache()
+        _plan_once(cache, matrix)
+        assert cache.cache_dir is None
+        assert _entry_files(tmp_path) == []
+
+
+class TestInvalidation:
+    def test_version_mismatch_reads_as_miss(self, tmp_path, matrix):
+        writer = PlanCache(cache_dir=tmp_path)
+        stats = _plan_once(writer, matrix)
+        (entry,) = _entry_files(tmp_path)
+        payload = pickle.loads(entry.read_bytes())
+        payload["version"] = CACHE_FORMAT_VERSION + 1
+        entry.write_bytes(pickle.dumps(payload))
+
+        reader = PlanCache(cache_dir=tmp_path)
+        replanned = _plan_once(reader, matrix)
+        assert reader.disk_hits == 0 and reader.misses == 1
+        assert replanned == stats  # planned live, same pure result
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"", b"not a pickle", pickle.dumps(["wrong", "shape"]),
+         pickle.dumps({"version": CACHE_FORMAT_VERSION, "key": None, "stats": 42})],
+        ids=["truncated", "non-pickle", "non-dict", "bad-stats"],
+    )
+    def test_corrupted_entry_falls_through_to_live_plan(
+        self, tmp_path, matrix, garbage
+    ):
+        writer = PlanCache(cache_dir=tmp_path)
+        stats = _plan_once(writer, matrix)
+        (entry,) = _entry_files(tmp_path)
+        entry.write_bytes(garbage)
+
+        reader = PlanCache(cache_dir=tmp_path)
+        replanned = _plan_once(reader, matrix)  # must not raise
+        assert reader.disk_hits == 0 and reader.misses == 1
+        assert replanned == stats
+
+    def test_key_mismatch_in_payload_reads_as_miss(self, tmp_path, matrix):
+        writer = PlanCache(cache_dir=tmp_path)
+        _plan_once(writer, matrix)
+        (entry,) = _entry_files(tmp_path)
+        payload = pickle.loads(entry.read_bytes())
+        payload["key"] = ("someone", "elses", "key")  # simulated collision
+        entry.write_bytes(pickle.dumps(payload))
+
+        reader = PlanCache(cache_dir=tmp_path)
+        _plan_once(reader, matrix)
+        assert reader.disk_hits == 0 and reader.misses == 1
+
+    def test_clear_keeps_disk_entries(self, tmp_path, matrix):
+        cache = PlanCache(cache_dir=tmp_path)
+        _plan_once(cache, matrix)
+        cache.clear()
+        assert cache.info()["size"] == 0
+        assert len(_entry_files(tmp_path)) == 1
+        _plan_once(cache, matrix)
+        assert cache.disk_hits == 1
+
+
+class TestEngineIntegration:
+    def test_vector_engine_persists_and_warm_starts(self, tmp_path, matrix):
+        from repro.apps.spmv import spmv
+
+        x = input_vector(matrix.num_cols)
+        cold = VectorEngine(plan_cache=PlanCache(cache_dir=tmp_path))
+        first = spmv(matrix, x, spec=TINY_GPU, engine=cold)
+
+        warm = VectorEngine(plan_cache=PlanCache(cache_dir=tmp_path))
+        second = spmv(matrix, x, spec=TINY_GPU, engine=warm)
+        assert warm.plan_cache.disk_hits == 1
+        assert second.stats == first.stats
+
+    def test_configure_global_plan_cache_round_trips(self, tmp_path):
+        cache = configure_global_plan_cache(tmp_path / "plans")
+        try:
+            assert cache.cache_dir == tmp_path / "plans"
+            assert (tmp_path / "plans").is_dir()
+        finally:
+            configure_global_plan_cache(None)
+        assert cache.cache_dir is None
+
+
+class TestCrossProcess:
+    """The acceptance check: a *fresh* process starts warm from disk."""
+
+    def _sweep_info(self, cache_dir: Path) -> dict:
+        script = (
+            "import json, sys\n"
+            "from repro.evaluation.harness import run_suite\n"
+            "from repro.engine import global_plan_cache\n"
+            "run_suite(['merge_path', 'thread_mapped'], scale='smoke',\n"
+            "          limit=3, plan_cache_dir=sys.argv[1])\n"
+            "print(json.dumps(global_plan_cache().info()))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop(CACHE_DIR_ENV, None)
+        out = subprocess.run(
+            [sys.executable, "-c", script, str(cache_dir)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        import json
+
+        return json.loads(out.stdout.strip().splitlines()[-1])
+
+    def test_second_process_sweep_hits_disk(self, tmp_path):
+        cold = self._sweep_info(tmp_path)
+        assert cold["misses"] > 0 and cold["disk_hits"] == 0
+        warm = self._sweep_info(tmp_path)
+        assert warm["misses"] == 0
+        assert warm["disk_hits"] == cold["misses"]
+        assert warm["hits"] > 0
+
+    def test_unusable_env_dir_never_breaks_import(self, tmp_path):
+        """The disk layer can only skip work: a bad REPRO_PLAN_CACHE_DIR
+        must read as 'no persistence', not crash the package import."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        script = (
+            "import json\n"
+            "from repro.engine import global_plan_cache\n"
+            "print(json.dumps(global_plan_cache().info()))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        env[CACHE_DIR_ENV] = str(blocker / "nested")  # path through a file
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        import json
+
+        info = json.loads(out.stdout.strip().splitlines()[-1])
+        assert info["cache_dir"] is None  # fell back to memory-only
+
+    def test_env_var_attaches_global_cache(self, tmp_path):
+        script = (
+            "import json\n"
+            "from repro.engine import global_plan_cache\n"
+            "print(json.dumps(global_plan_cache().info()))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        env[CACHE_DIR_ENV] = str(tmp_path / "envcache")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        import json
+
+        info = json.loads(out.stdout.strip().splitlines()[-1])
+        assert info["cache_dir"] == str(tmp_path / "envcache")

@@ -1,0 +1,169 @@
+"""Tests for the harness's fan-out strategies (serial / thread / process).
+
+The contract: all three executors return *identical* row lists for the
+same grid and seed, in deterministic (dataset, kernel) order, and the
+process executor shards work per dataset (problem + oracle built once
+per shard, every kernel of the cell amortized against them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.harness import (
+    EXECUTORS,
+    _run_shard,
+    _ShardTask,
+    run_suite,
+)
+from repro.gpusim.arch import V100
+from repro.sparse.corpus import build_corpus, load_dataset
+
+KERNELS = ["merge_path", "thread_mapped", "cub"]
+
+
+def _key(rows):
+    return [(r.app, r.kernel, r.dataset, r.rows, r.cols, r.nnzs, r.elapsed)
+            for r in rows]
+
+
+class TestExecutorEquivalence:
+    def test_all_executors_return_identical_rows(self):
+        serial = run_suite(KERNELS, scale="smoke", limit=4, executor="serial")
+        thread = run_suite(
+            KERNELS, scale="smoke", limit=4, executor="thread", max_workers=4
+        )
+        process = run_suite(
+            KERNELS, scale="smoke", limit=4, executor="process", max_workers=2
+        )
+        assert _key(serial) == _key(thread) == _key(process)
+        assert len(serial) == 4 * len(KERNELS)
+
+    def test_process_executor_non_spmv_app(self):
+        rows = run_suite(
+            ["thread_mapped", "group_mapped"],
+            app="histogram",
+            scale="smoke",
+            limit=3,
+            executor="process",
+            max_workers=2,
+        )
+        serial = run_suite(
+            ["thread_mapped", "group_mapped"],
+            app="histogram",
+            scale="smoke",
+            limit=3,
+            executor="serial",
+        )
+        assert _key(rows) == _key(serial)
+
+    def test_process_executor_explicit_datasets(self):
+        ds = [load_dataset("tiny_diag_32", "smoke"),
+              load_dataset("tiny_uniform_64", "smoke")]
+        rows = run_suite(
+            ["merge_path"], datasets=ds, executor="process", max_workers=2
+        )
+        assert [r.dataset for r in rows] == ["tiny_diag_32", "tiny_uniform_64"]
+
+    def test_process_executor_seed_determinism(self):
+        a = run_suite(["merge_path"], scale="smoke", limit=3,
+                      executor="process", seed=7)
+        b = run_suite(["merge_path"], scale="smoke", limit=3,
+                      executor="process", seed=7)
+        assert _key(a) == _key(b)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            run_suite(["merge_path"], scale="smoke", limit=1, executor="gpu")
+        assert EXECUTORS == ("serial", "thread", "process")
+
+    def test_empty_dataset_list(self):
+        assert run_suite(["merge_path"], datasets=[], executor="process") == []
+
+    def test_plan_cache_dir_restored_after_suite(self, tmp_path):
+        """run_suite must not leave the global cache pointed at the
+        caller's (possibly temporary) directory."""
+        from repro.engine import clear_plan_cache, global_plan_cache
+
+        before = global_plan_cache().cache_dir
+        clear_plan_cache()  # memory hits would skip the disk store
+        run_suite(["merge_path"], scale="smoke", limit=2,
+                  plan_cache_dir=tmp_path / "plans")
+        assert global_plan_cache().cache_dir == before
+        assert list((tmp_path / "plans").glob("plan-*.pkl"))  # used meanwhile
+
+
+class TestSharding:
+    def test_shard_runs_every_kernel_once(self):
+        ds = load_dataset("tiny_power_256", "smoke")
+        task = _ShardTask(
+            app="spmv",
+            kernels=tuple(KERNELS),
+            dataset=ds,
+            spec=V100,
+            engine="vector",
+            seed=0,
+            validate=True,
+            plan_cache_dir=None,
+        )
+        rows = _run_shard(task)
+        assert [r.kernel for r in rows] == KERNELS
+        assert all(r.dataset == ds.name for r in rows)
+
+    def test_shard_is_picklable(self):
+        import pickle
+
+        ds = load_dataset("tiny_diag_32", "smoke")
+        task = _ShardTask(
+            app="spmv",
+            kernels=("merge_path",),
+            dataset=ds,
+            spec=V100,
+            engine="vector",
+            seed=0,
+            validate=False,
+            plan_cache_dir=None,
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.dataset.name == ds.name
+        assert _key(_run_shard(clone)) == _key(_run_shard(task))
+
+    def test_shard_configures_worker_plan_cache(self, tmp_path):
+        from repro.engine import (
+            clear_plan_cache,
+            configure_global_plan_cache,
+            global_plan_cache,
+        )
+
+        ds = load_dataset("tiny_diag_32", "smoke")
+        task = _ShardTask(
+            app="spmv",
+            kernels=("merge_path",),
+            dataset=ds,
+            spec=V100,
+            engine="vector",
+            seed=0,
+            validate=False,
+            plan_cache_dir=str(tmp_path / "plans"),
+        )
+        try:
+            # Memory hits skip the disk store; start the key cold so the
+            # shard's plan demonstrably reaches the directory.
+            clear_plan_cache()
+            _run_shard(task)
+            assert global_plan_cache().cache_dir == tmp_path / "plans"
+            assert list((tmp_path / "plans").glob("plan-*.pkl"))
+        finally:
+            configure_global_plan_cache(None)
+
+
+class TestIncompatibleDatasets:
+    def test_rectangular_skipped_for_graph_apps_in_process_mode(self):
+        rows = run_suite(
+            ["group_mapped"], app="bfs", scale="smoke", executor="process",
+            max_workers=2,
+        )
+        names = {d.name for d in build_corpus("smoke")
+                 if d.matrix.num_rows == d.matrix.num_cols}
+        assert {r.dataset for r in rows} <= names
+        assert all(r.rows == r.cols for r in rows)
