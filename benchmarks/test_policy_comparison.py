@@ -1,0 +1,96 @@
+"""Policy bench: OracleBestPolicy vs HeuristicPolicy vs FixedPolicy.
+
+Sweeps the corpus once per schedule-selection policy -- the paper's
+"best of all schedules" line (oracle_best), the Section 6.2 heuristic,
+and the best *fixed* schedule (merge_path) -- and records the per-policy
+model-time totals into ``BENCH_policy.json`` at the repo root, so the
+policy layer has a trajectory to regress against alongside
+``BENCH_sweep.json``.
+
+Asserts the structural guarantees rather than absolute numbers:
+oracle-best can never lose to any fixed schedule on any dataset (it *is*
+the per-dataset argmin), and the heuristic lands between the oracle and
+the worst fixed schedule in total.
+
+Runs in smoke mode by default (tiny corpus; CI-friendly).  Environment
+knobs scale it up for real benching: ``REPRO_BENCH_POLICY_SCALE``
+(corpus scale), ``REPRO_BENCH_POLICY_LIMIT`` (dataset count).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.engine import ExecutionContext
+from repro.evaluation.harness import run_suite
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_policy.json"
+
+POLICY_SCALE = os.environ.get("REPRO_BENCH_POLICY_SCALE", "smoke")
+POLICY_LIMIT = int(os.environ.get("REPRO_BENCH_POLICY_LIMIT", "8"))
+
+#: The fixed-schedule field: every registered schedule, swept as its own
+#: kernel column so oracle_best has a per-dataset reference argmin.
+FIXED_KERNELS = [
+    "thread_mapped", "group_mapped", "merge_path", "nonzero_split", "lrb",
+]
+POLICIES = ["oracle_best", "heuristic"] + FIXED_KERNELS
+
+
+def test_policy_comparison():
+    ctx = ExecutionContext()
+    t0 = time.perf_counter()
+    rows = run_suite(
+        POLICIES, app="spmv", scale=POLICY_SCALE, limit=POLICY_LIMIT, ctx=ctx
+    )
+    wall_s = time.perf_counter() - t0
+
+    by_policy: dict[str, dict[str, float]] = {p: {} for p in POLICIES}
+    for r in rows:
+        by_policy[r.kernel][r.dataset] = r.elapsed
+    datasets = sorted(by_policy["oracle_best"])
+
+    # Structural guarantee: oracle-best is the per-dataset argmin over
+    # the fixed schedules it prices (same launches, same planner).
+    for d in datasets:
+        fixed_best = min(by_policy[k][d] for k in FIXED_KERNELS)
+        assert by_policy["oracle_best"][d] <= fixed_best + 1e-12, d
+
+    totals = {p: sum(by_policy[p].values()) for p in POLICIES}
+    assert totals["oracle_best"] <= totals["heuristic"] + 1e-12
+    assert totals["oracle_best"] <= min(totals[k] for k in FIXED_KERNELS) + 1e-12
+
+    chosen = {
+        d: next(
+            (k for k in FIXED_KERNELS
+             if by_policy[k][d] == by_policy["oracle_best"][d]),
+            "?",
+        )
+        for d in datasets
+    }
+    payload = {
+        "benchmark": "policy_comparison",
+        "app": "spmv",
+        "scale": POLICY_SCALE,
+        "limit": POLICY_LIMIT,
+        "datasets": len(datasets),
+        "policies": POLICIES,
+        "total_model_ms": {p: round(totals[p], 9) for p in POLICIES},
+        "speedup_vs_merge_path": {
+            p: round(totals["merge_path"] / totals[p], 4)
+            for p in POLICIES
+            if totals[p] > 0
+        },
+        "oracle_best_choice_per_dataset": chosen,
+        "per_dataset_model_ms": {
+            p: {d: round(by_policy[p][d], 9) for d in datasets}
+            for p in POLICIES
+        },
+        "sweep_wall_s": round(wall_s, 3),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\n=== BENCH_policy.json ===\n{json.dumps(payload, indent=2)}")

@@ -19,7 +19,6 @@ from repro.apps.common import spmv_costs
 from repro.apps.spmttkrp import spmttkrp, spmttkrp_reference
 from repro.core import WorkSpec
 from repro.gpusim import V100, multi_gpu_plan
-from repro.sparse import generators as gen
 from repro.sparse.tensor import random_tensor
 
 

@@ -1,10 +1,3 @@
-"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``).
-
-All metadata lives in ``pyproject.toml``; setuptools >= 61 reads it from
-there.  Environments without the ``wheel`` package need this file for
-the non-PEP-517 editable path.
-"""
-
-from setuptools import setup
+from setuptools import setup  # shim for legacy editable installs (no-wheel envs); all metadata lives in pyproject.toml
 
 setup()

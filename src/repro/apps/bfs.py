@@ -15,7 +15,7 @@ import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
 from ..engine import AppSpec, Runtime, register_app, run_app
-from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.arch import GpuSpec
 from ..sparse.graph import CsrGraph
 from .common import AppResult
 from .traversal import graph_sweep_problem, run_frontier_loop
@@ -48,17 +48,25 @@ def bfs(
     graph: CsrGraph,
     source: int,
     *,
-    schedule: str | Schedule = "group_mapped",
-    spec: GpuSpec = V100,
-    engine: str = "vector",
+    ctx=None,
+    schedule: str | Schedule | None = None,
+    spec: GpuSpec | None = None,
+    engine: str | None = None,
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
-    """Load-balanced BFS on the simulated GPU; returns hop depths."""
+    """Load-balanced BFS on the simulated GPU; returns hop depths.
+
+    ``ctx`` is the single execution-selection argument
+    (:class:`~repro.engine.context.ExecutionContext`); the loose kwargs
+    are the deprecated pre-context spelling (default schedule:
+    ``group_mapped``).
+    """
     problem = SimpleNamespace(graph=graph, source=source)
     return run_app(
         "bfs",
         problem,
+        ctx=ctx,
         schedule=schedule,
         engine=engine,
         spec=spec,
@@ -98,13 +106,50 @@ def bfs_driver(problem, rt: Runtime) -> AppResult:
     iterations, stats = run_frontier_loop(
         graph, source, relax, relax_edge=relax_edge, rt=rt
     )
-    sched_name = rt.schedule if isinstance(rt.schedule, str) else rt.schedule.name
     return AppResult(
         output=depth,
         stats=stats,
-        schedule=sched_name,
+        schedule=rt.schedule_label(),
         extras={"iterations": len(iterations), "trace": iterations},
     )
+
+
+def _sample_check(problem, output, seed: int, samples: int = 8) -> bool:
+    """Independent relaxation audit over the raw CSR arrays.
+
+    The BFS level invariants are re-derived directly from the edges --
+    no queue, no frontier machinery, nothing shared with the oracle.
+    One vectorized pass over every edge pins the global invariant (a
+    reached vertex's out-neighbors are all reached within one extra
+    hop); a seeded sample of reached vertices then gets the per-vertex
+    predecessor audit (a vertex at depth ``d > 0`` has a predecessor at
+    exactly ``d - 1`` -- and none earlier, else its own depth would be
+    smaller).  O(nnz + samples * nnz) per call.
+    """
+    graph, source = problem.graph, problem.source
+    csr = graph.csr
+    n = graph.num_vertices
+    depth = np.asarray(output)
+    if depth.shape != (n,) or int(depth[source]) != 0:
+        return False
+    row_ids = np.repeat(np.arange(n, dtype=np.int64), csr.row_lengths())
+    src_d, dst_d = depth[row_ids], depth[csr.col_indices]
+    reached_edge = src_d != UNVISITED
+    if np.any(dst_d[reached_edge] == UNVISITED):
+        return False
+    if np.any(dst_d[reached_edge] > src_d[reached_edge] + 1):
+        return False
+    reached = np.nonzero((depth != UNVISITED) & (np.arange(n) != source))[0]
+    if reached.size:
+        rng = np.random.default_rng(seed)
+        for u in rng.choice(reached, size=min(samples, reached.size),
+                            replace=False):
+            du = int(depth[u])
+            pred_depths = depth[row_ids[csr.col_indices == u]]
+            pred_depths = pred_depths[pred_depths != UNVISITED]
+            if pred_depths.size == 0 or int(pred_depths.min()) != du - 1:
+                return False
+    return True
 
 
 register_app(
@@ -116,6 +161,7 @@ register_app(
         sweep_problem=graph_sweep_problem,
         match=lambda output, expected: bool(np.array_equal(output, expected)),
         accepts=lambda matrix: matrix.num_rows == matrix.num_cols,
+        sample_check=_sample_check,
         description="level-synchronous breadth-first search",
     )
 )

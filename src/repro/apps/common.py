@@ -17,10 +17,13 @@ should consist of, and registers them as an
 Execution -- resolving the schedule, running the kernel, assembling
 :class:`KernelStats` -- is owned entirely by :mod:`repro.engine`: the
 driver describes launches to a :class:`~repro.engine.dispatch.Runtime`
-and the selected engine (``"vector"`` or ``"simt"``, see
-:data:`~repro.engine.dispatch.ENGINES`) does the rest.  Switching the
-schedule *or* the engine is a one-identifier change, and no application
-module contains engine-specific plumbing.
+and the selected engine (``"vector"``, ``"simt"``, ``"multi_gpu"``, ...;
+see :func:`~repro.engine.dispatch.available_engines`) does the rest.
+Switching the schedule *or* the engine is a one-identifier change, and no
+application module contains engine-specific plumbing.  Since the
+ExecutionContext redesign both identifiers -- plus the schedule *policy*,
+the device spec and the launch override -- travel together in one frozen
+:class:`~repro.engine.context.ExecutionContext` value.
 
 This module keeps the pieces the app declarations share: the
 :class:`AppResult` envelope, the SpMV cost model (reused by SpMM and the
@@ -37,11 +40,15 @@ from typing import Any
 import numpy as np
 
 from ..core.schedule import WorkCosts
-from ..engine.dispatch import ENGINES, resolve_schedule
+from ..engine.dispatch import available_engines, resolve_schedule
 from ..gpusim.arch import GpuSpec, V100
 from ..gpusim.cost_model import KernelStats
 
 __all__ = ["AppResult", "resolve_schedule", "spmv_costs", "ENGINES"]
+
+#: Deprecated alias: the engine set lives in a registry now
+#: (:func:`repro.engine.dispatch.available_engines`).
+ENGINES = available_engines()
 
 
 @dataclass

@@ -22,7 +22,7 @@ from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.schedules.lrb import lrb_bins
 from ..core.work import WorkSpec
 from ..engine import AppSpec, Runtime, register_app, run_app
-from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.arch import GpuSpec
 from ..sparse.csr import CsrMatrix
 from .common import AppResult, tile_charges
 
@@ -45,17 +45,25 @@ def degree_histogram_reference(matrix: CsrMatrix) -> np.ndarray:
 def degree_histogram(
     matrix: CsrMatrix,
     *,
-    schedule: str | Schedule = "thread_mapped",
-    spec: GpuSpec = V100,
-    engine: str = "vector",
+    ctx=None,
+    schedule: str | Schedule | None = None,
+    spec: GpuSpec | None = None,
+    engine: str | None = None,
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
-    """Histogram of ``ceil(log2(row_length + 1))`` bins (LRB's binning)."""
+    """Histogram of ``ceil(log2(row_length + 1))`` bins (LRB's binning).
+
+    ``ctx`` is the single execution-selection argument
+    (:class:`~repro.engine.context.ExecutionContext`); the loose kwargs
+    are the deprecated pre-context spelling (default schedule:
+    ``thread_mapped``).
+    """
     problem = SimpleNamespace(matrix=matrix)
     return run_app(
         "histogram",
         problem,
+        ctx=ctx,
         schedule=schedule,
         engine=engine,
         spec=spec,
@@ -77,8 +85,8 @@ def histogram_driver(problem, rt: Runtime) -> AppResult:
     """The registered degree-histogram declaration."""
     matrix = problem.matrix
     work = WorkSpec.from_csr(matrix, label="histogram")
-    sched = rt.schedule_for(work, matrix=matrix)
     costs = _histogram_costs(rt.spec)
+    sched = rt.schedule_for(work, matrix=matrix, kernel="histogram", costs=costs)
 
     def compute() -> np.ndarray:
         return degree_histogram_reference(matrix)

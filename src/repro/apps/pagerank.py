@@ -18,7 +18,7 @@ import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
 from ..engine import AppSpec, Runtime, register_app, run_app
-from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.arch import GpuSpec
 from ..sparse.convert import csr_transpose
 from ..sparse.csr import CsrMatrix
 from .common import AppResult
@@ -66,13 +66,20 @@ def pagerank(
     damping: float = 0.85,
     tol: float = 1e-10,
     max_iter: int = 200,
-    schedule: str | Schedule = "merge_path",
-    spec: GpuSpec = V100,
-    engine: str = "vector",
+    ctx=None,
+    schedule: str | Schedule | None = None,
+    spec: GpuSpec | None = None,
+    engine: str | None = None,
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
-    """Load-balanced PageRank; one SpMV launch per iteration."""
+    """Load-balanced PageRank; one SpMV launch per iteration.
+
+    ``ctx`` is the single execution-selection argument
+    (:class:`~repro.engine.context.ExecutionContext`); the loose kwargs
+    are the deprecated pre-context spelling (default schedule:
+    ``merge_path``).
+    """
     if adjacency.num_rows != adjacency.num_cols:
         raise ValueError("PageRank requires a square adjacency matrix")
     if not 0 < damping < 1:
@@ -83,6 +90,7 @@ def pagerank(
     return run_app(
         "pagerank",
         problem,
+        ctx=ctx,
         schedule=schedule,
         engine=engine,
         spec=spec,
@@ -118,13 +126,48 @@ def pagerank_driver(problem, rt: Runtime) -> AppResult:
         if delta < tol:
             break
     assert total_stats is not None
-    sched_name = rt.schedule if isinstance(rt.schedule, str) else rt.schedule.name
     return AppResult(
         output=rank,
         stats=total_stats,
-        schedule=sched_name,
+        schedule=rt.schedule_label(),
         extras={"iterations": iterations},
     )
+
+
+def _sample_check(problem, output, seed: int, samples: int = 8) -> bool:
+    """Independent sampled fixed-point audit over the raw adjacency.
+
+    For sampled vertices the PageRank equation is re-derived from the
+    *forward* adjacency arrays (in-contributions found by scanning the
+    column indices) -- no pull-matrix transpose, no dense power
+    iteration, nothing shared with either the driver or the oracle:
+
+        rank[v] = d * (sum_{u -> v} rank[u] / outdeg[u]
+                       + sum_{u dangling} rank[u] / n) + (1 - d) / n
+
+    Plus the global invariants: ranks positive, summing to ~1.
+    O(samples * nnz) per call.
+    """
+    adjacency = problem.adjacency
+    damping = getattr(problem, "damping", 0.85)
+    n = adjacency.num_rows
+    rank = np.asarray(output, dtype=np.float64)
+    if rank.shape != (n,) or np.any(rank <= 0):
+        return False
+    if not np.isclose(rank.sum(), 1.0, rtol=1e-6, atol=1e-9):
+        return False
+    out_deg = adjacency.row_lengths().astype(np.float64)
+    dangling_mass = float(rank[out_deg == 0].sum()) / n
+    row_ids = np.repeat(np.arange(n, dtype=np.int64), adjacency.row_lengths())
+    rng = np.random.default_rng(seed)
+    for v in rng.choice(n, size=min(samples, n), replace=False):
+        v = int(v)
+        preds = row_ids[adjacency.col_indices == v]
+        pulled = float((rank[preds] / out_deg[preds]).sum())
+        expected = damping * (pulled + dangling_mass) + (1.0 - damping) / n
+        if not np.isclose(rank[v], expected, rtol=1e-4, atol=1e-8):
+            return False
+    return True
 
 
 register_app(
@@ -145,6 +188,7 @@ register_app(
             np.allclose(output, expected, rtol=1e-5, atol=1e-8)
         ),
         accepts=lambda matrix: matrix.num_rows == matrix.num_cols,
+        sample_check=_sample_check,
         description="PageRank power iteration composed from SpMV",
     )
 )

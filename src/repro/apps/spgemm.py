@@ -26,7 +26,7 @@ import numpy as np
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
 from ..engine import AppSpec, Runtime, register_app, run_app
-from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.arch import GpuSpec
 from ..sparse.convert import coo_to_csr, csr_transpose
 from ..sparse.coo import CooMatrix
 from ..sparse.csr import CsrMatrix
@@ -98,22 +98,28 @@ def spgemm(
     a: CsrMatrix,
     b: CsrMatrix,
     *,
-    schedule: str | Schedule = "merge_path",
-    spec: GpuSpec = V100,
-    engine: str = "vector",
+    ctx=None,
+    schedule: str | Schedule | None = None,
+    spec: GpuSpec | None = None,
+    engine: str | None = None,
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
     """Two-pass load-balanced SpGEMM on the simulated GPU.
 
     Returns the sparse product as a :class:`CsrMatrix`; ``stats`` is the
-    sequential composition of the two kernels' stats.
+    sequential composition of the two kernels' stats.  ``ctx`` is the
+    single execution-selection argument
+    (:class:`~repro.engine.context.ExecutionContext`); a
+    :class:`~repro.core.policy.PerKernelPolicy` can route the two passes
+    (kernel labels ``count`` and ``compute``) to different schedules.
     """
     _check(a, b)
     problem = SimpleNamespace(a=a, b=b)
     return run_app(
         "spgemm",
         problem,
+        ctx=ctx,
         schedule=schedule,
         engine=engine,
         spec=spec,
@@ -131,8 +137,8 @@ def spgemm_driver(problem, rt: Runtime) -> AppResult:
 
     # ---- Pass 1: count intermediate products per row of A. ----
     work_count = WorkSpec.from_csr(a, label="spgemm-count")
-    sched1 = rt.schedule_for(work_count, matrix=a)
     costs1 = _count_costs(rt.spec)
+    sched1 = rt.schedule_for(work_count, matrix=a, kernel="count", costs=costs1)
 
     def compute_counts() -> np.ndarray:
         per_row = np.zeros(a.num_rows, dtype=np.int64)
@@ -170,8 +176,10 @@ def spgemm_driver(problem, rt: Runtime) -> AppResult:
     work_compute = WorkSpec.from_counts(per_row, label="spgemm-compute")
 
     # ---- Pass 2: multiply-accumulate over the products. ----
-    sched2 = rt.schedule_for(work_compute, matrix=a, launch=None)
     costs2 = _compute_costs(rt.spec)
+    sched2 = rt.schedule_for(
+        work_compute, matrix=a, launch=None, kernel="compute", costs=costs2
+    )
 
     def compute_product() -> CsrMatrix:
         coo = CooMatrix.from_arrays(

@@ -16,7 +16,7 @@ import numpy as np
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
 from ..engine import AppSpec, Runtime, input_matrix, register_app, run_app
-from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.arch import GpuSpec
 from ..sparse.csr import CsrMatrix
 from .common import AppResult, spmv_costs, tile_charges
 
@@ -56,18 +56,25 @@ def spmm(
     matrix: CsrMatrix,
     b: np.ndarray,
     *,
-    schedule: str | Schedule = "merge_path",
-    spec: GpuSpec = V100,
-    engine: str = "vector",
+    ctx=None,
+    schedule: str | Schedule | None = None,
+    spec: GpuSpec | None = None,
+    engine: str | None = None,
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
-    """Load-balanced SpMM on the simulated GPU."""
+    """Load-balanced SpMM on the simulated GPU.
+
+    ``ctx`` is the single execution-selection argument
+    (:class:`~repro.engine.context.ExecutionContext`); the loose kwargs
+    are the deprecated pre-context spelling.
+    """
     b = _check_b(matrix, b)
     problem = SimpleNamespace(matrix=matrix, b=b)
     return run_app(
         "spmm",
         problem,
+        ctx=ctx,
         schedule=schedule,
         engine=engine,
         spec=spec,
@@ -81,8 +88,8 @@ def spmm_driver(problem, rt: Runtime) -> AppResult:
     matrix, b = problem.matrix, problem.b
     n_cols = b.shape[1]
     work = WorkSpec.from_csr(matrix)
-    sched = rt.schedule_for(work, matrix=matrix)
-    costs = spmm_costs(sched.spec, n_cols)
+    costs = spmm_costs(rt.spec, n_cols)
+    sched = rt.schedule_for(work, matrix=matrix, kernel="spmm", costs=costs)
 
     def compute() -> np.ndarray:
         return spmm_reference(matrix, b)

@@ -21,7 +21,7 @@ import numpy as np
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
 from ..engine import AppSpec, Runtime, input_matrix, register_app, run_app
-from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.arch import GpuSpec
 from ..sparse.csr import CsrMatrix
 from ..sparse.tensor import SparseTensor3
 from .common import AppResult, tile_charges
@@ -61,9 +61,10 @@ def spmttkrp(
     b: np.ndarray,
     c: np.ndarray,
     *,
-    schedule: str | Schedule = "merge_path",
-    spec: GpuSpec = V100,
-    engine: str = "vector",
+    ctx=None,
+    schedule: str | Schedule | None = None,
+    spec: GpuSpec | None = None,
+    engine: str | None = None,
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
@@ -71,13 +72,17 @@ def spmttkrp(
 
     ``schedule`` may be any registry name -- including ``nonzero_split``,
     which reproduces F-COO's equal-nonzeros-per-thread behaviour as a
-    *schedule* instead of a storage format.
+    *schedule* instead of a storage format.  ``ctx`` is the single
+    execution-selection argument
+    (:class:`~repro.engine.context.ExecutionContext`); the loose kwargs
+    are the deprecated pre-context spelling.
     """
     b, c = _check_factors(tensor, b, c)
     problem = SimpleNamespace(tensor=tensor, b=b, c=c)
     return run_app(
         "spmttkrp",
         problem,
+        ctx=ctx,
         schedule=schedule,
         engine=engine,
         spec=spec,
@@ -107,8 +112,8 @@ def spmttkrp_driver(problem, rt: Runtime) -> AppResult:
         (tensor.shape[0], tensor.shape[1]),
         validate=False,
     )
-    sched = rt.schedule_for(work, matrix=proxy)
     costs = mttkrp_costs(rt.spec, rank)
+    sched = rt.schedule_for(work, matrix=proxy, kernel="mttkrp", costs=costs)
 
     def compute() -> np.ndarray:
         return spmttkrp_reference(tensor, b, c)

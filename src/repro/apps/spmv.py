@@ -18,7 +18,7 @@ import numpy as np
 from ..core.schedule import LaunchParams, Schedule
 from ..core.work import WorkSpec
 from ..engine import AppSpec, Runtime, input_vector, register_app, run_app
-from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.arch import GpuSpec
 from ..sparse.csr import CsrMatrix
 from .common import AppResult, check_dense_vector, spmv_costs, tile_charges
 
@@ -40,9 +40,10 @@ def spmv(
     matrix: CsrMatrix,
     x: np.ndarray,
     *,
-    schedule: str | Schedule = "merge_path",
-    spec: GpuSpec = V100,
-    engine: str = "vector",
+    ctx=None,
+    schedule: str | Schedule | None = None,
+    spec: GpuSpec | None = None,
+    engine: str | None = None,
     launch: LaunchParams | None = None,
     locality: bool = False,
     **schedule_options,
@@ -51,12 +52,19 @@ def spmv(
 
     Parameters
     ----------
+    ctx:
+        An :class:`~repro.engine.context.ExecutionContext` -- the single
+        execution-selection argument (engine, device spec, schedule
+        policy, launch override).  The remaining selection kwargs are the
+        deprecated pre-context spelling; passing both is an error.
     schedule:
         A registered schedule name, ``"heuristic"`` (Section 6.2 selector),
-        or a pre-built :class:`~repro.core.schedule.Schedule`.
+        ``"oracle_best"``, or a pre-built
+        :class:`~repro.core.schedule.Schedule` (default: ``merge_path``).
     engine:
-        ``"vector"`` (corpus scale) or ``"simt"`` (thread-by-thread ground
-        truth; small inputs only).
+        A registered engine name (``"vector"`` corpus scale, ``"simt"``
+        thread-by-thread ground truth, ``"multi_gpu"`` device
+        partitioning; see :func:`repro.engine.available_engines`).
     locality:
         Enable the future-work cache model for the x-vector gathers
         (:mod:`repro.gpusim.cache`); off by default to match the paper's
@@ -67,6 +75,7 @@ def spmv(
     return run_app(
         "spmv",
         problem,
+        ctx=ctx,
         schedule=schedule,
         engine=engine,
         spec=spec,
@@ -80,9 +89,9 @@ def spmv_driver(problem, rt: Runtime) -> AppResult:
     matrix, x = problem.matrix, problem.x
     locality = getattr(problem, "locality", False)
     work = WorkSpec.from_csr(matrix)
-    sched = rt.schedule_for(work, matrix=matrix)
     working_set = float(x.nbytes) if locality else None
-    costs = spmv_costs(sched.spec, gather_working_set_bytes=working_set)
+    costs = spmv_costs(rt.spec, gather_working_set_bytes=working_set)
+    sched = rt.schedule_for(work, matrix=matrix, kernel="spmv", costs=costs)
 
     def compute() -> np.ndarray:
         return spmv_reference(matrix, x)

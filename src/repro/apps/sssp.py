@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
 from ..engine import AppSpec, Runtime, register_app, run_app
-from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.arch import GpuSpec
 from ..sparse.graph import CsrGraph
 from .common import AppResult
 from .traversal import graph_sweep_problem, run_frontier_loop
@@ -51,9 +51,10 @@ def sssp(
     graph: CsrGraph,
     source: int,
     *,
-    schedule: str | Schedule = "group_mapped",
-    spec: GpuSpec = V100,
-    engine: str = "vector",
+    ctx=None,
+    schedule: str | Schedule | None = None,
+    spec: GpuSpec | None = None,
+    engine: str | None = None,
     launch: LaunchParams | None = None,
     max_iterations: int | None = None,
     **schedule_options,
@@ -62,7 +63,11 @@ def sssp(
 
     Edge weights must be non-negative.  Returns the distance array; the
     stats compose every frontier launch, one load-balanced kernel per
-    iteration (Listing 5's outer loop).
+    iteration (Listing 5's outer loop).  ``ctx`` is the single
+    execution-selection argument
+    (:class:`~repro.engine.context.ExecutionContext`); the loose kwargs
+    are the deprecated pre-context spelling (default schedule:
+    ``group_mapped``).
     """
     problem = SimpleNamespace(
         graph=graph, source=source, max_iterations=max_iterations
@@ -70,6 +75,7 @@ def sssp(
     return run_app(
         "sssp",
         problem,
+        ctx=ctx,
         schedule=schedule,
         engine=engine,
         spec=spec,
@@ -115,13 +121,50 @@ def sssp_driver(problem, rt: Runtime) -> AppResult:
         rt=rt,
         max_iterations=max_iterations,
     )
-    sched_name = rt.schedule if isinstance(rt.schedule, str) else rt.schedule.name
     return AppResult(
         output=dist,
         stats=stats,
-        schedule=sched_name,
+        schedule=rt.schedule_label(),
         extras={"iterations": len(iterations), "trace": iterations},
     )
+
+
+def _sample_check(problem, output, seed: int, samples: int = 8) -> bool:
+    """Independent relaxation audit over the raw CSR arrays.
+
+    Dijkstra-free: one vectorized pass checks the triangle inequality on
+    *every* edge (no relaxable edge remains -- the Bellman-Ford fixed
+    point), then each sampled reached vertex must have a predecessor
+    edge that *achieves* its distance.  O(nnz + samples * nnz) per call.
+    """
+    graph, source = problem.graph, problem.source
+    csr = graph.csr
+    n = graph.num_vertices
+    dist = np.asarray(output, dtype=np.float64)
+    if dist.shape != (n,) or dist[source] != 0.0 or np.any(dist < 0):
+        return False
+    row_ids = np.repeat(np.arange(n, dtype=np.int64), csr.row_lengths())
+    rng = np.random.default_rng(seed)
+    if csr.nnz:
+        src_d = dist[row_ids]
+        finite = np.isfinite(src_d)
+        slack = (
+            dist[csr.col_indices[finite]] - (src_d[finite] + csr.values[finite])
+        )
+        if np.any(slack > 1e-9):
+            return False
+    reached = np.nonzero(np.isfinite(dist) & (np.arange(n) != source))[0]
+    if reached.size:
+        for v in rng.choice(reached, size=min(samples, reached.size),
+                            replace=False):
+            v = int(v)
+            in_edges = np.nonzero(csr.col_indices == v)[0]
+            candidates = dist[row_ids[in_edges]] + csr.values[in_edges]
+            if candidates.size == 0 or not np.isclose(
+                candidates.min(), dist[v], rtol=1e-9, atol=1e-12
+            ):
+                return False
+    return True
 
 
 register_app(
@@ -132,6 +175,7 @@ register_app(
         oracle=lambda p: sssp_reference(p.graph, p.source),
         sweep_problem=graph_sweep_problem,
         accepts=lambda matrix: matrix.num_rows == matrix.num_cols,
+        sample_check=_sample_check,
         description="frontier-based single-source shortest paths",
     )
 )

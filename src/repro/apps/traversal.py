@@ -166,7 +166,7 @@ def run_frontier_loop(
         edge_targets = csr.col_indices[edge_ids]
         edge_weights = csr.values[edge_ids]
 
-        sched = rt.schedule_for(work, matrix=csr)
+        sched = rt.schedule_for(work, matrix=csr, kernel="advance", costs=costs)
 
         def compute():
             return relax(frontier, edge_sources, edge_targets, edge_weights)

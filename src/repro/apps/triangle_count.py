@@ -15,7 +15,7 @@ import numpy as np
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
 from ..engine import AppSpec, Runtime, register_app, run_app
-from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.arch import GpuSpec
 from ..sparse.csr import CsrMatrix
 from .common import AppResult, tile_charges
 
@@ -71,9 +71,10 @@ def _intersection_costs(spec: GpuSpec, mean_degree: float) -> WorkCosts:
 def triangle_count(
     adjacency: CsrMatrix,
     *,
-    schedule: str | Schedule = "lrb",
-    spec: GpuSpec = V100,
-    engine: str = "vector",
+    ctx=None,
+    schedule: str | Schedule | None = None,
+    spec: GpuSpec | None = None,
+    engine: str | None = None,
     launch: LaunchParams | None = None,
     **schedule_options,
 ) -> AppResult:
@@ -81,6 +82,9 @@ def triangle_count(
 
     The input is symmetrized and binarized internally; self-loops are
     dropped.  Defaults to the LRB schedule per the related work's usage.
+    ``ctx`` is the single execution-selection argument
+    (:class:`~repro.engine.context.ExecutionContext`); the loose kwargs
+    are the deprecated pre-context spelling.
     """
     if adjacency.num_rows != adjacency.num_cols:
         raise ValueError("triangle counting requires a square adjacency")
@@ -88,6 +92,7 @@ def triangle_count(
     return run_app(
         "triangle_count",
         problem,
+        ctx=ctx,
         schedule=schedule,
         engine=engine,
         spec=spec,
@@ -110,8 +115,8 @@ def triangle_count_driver(problem, rt: Runtime) -> AppResult:
 
     work = WorkSpec.from_csr(upper, label="triangles")
     mean_deg = upper.nnz / max(1, upper.num_rows)
-    sched = rt.schedule_for(work, matrix=upper)
     costs = _intersection_costs(rt.spec, mean_deg)
+    sched = rt.schedule_for(work, matrix=upper, kernel="intersect", costs=costs)
 
     def compute() -> int:
         # Vectorized intersection counting: a triangle (u, v, w) with

@@ -9,9 +9,19 @@ CLI reproduces both entry points::
     python -m repro spmv -m datasets/chesapeake.mtx --schedule merge_path --validate
     python -m repro sweep --kernels merge_path cub cusparse --scale smoke -o out.csv
     python -m repro sweep --app bfs --kernels group_mapped merge_path --scale smoke
+    python -m repro sweep --app spmv --policy oracle_best --gpus 2
     python -m repro datasets
     python -m repro apps
+    python -m repro schedules
     python -m repro table1
+
+Execution selection is one :class:`~repro.engine.context.ExecutionContext`
+built from ``--engine`` (any registered engine: ``vector``, ``simt``,
+``multi_gpu``, ...), ``--gpus`` (``> 1`` auto-selects the multi-GPU
+engine), ``--spec`` and -- on ``sweep`` -- ``--policy`` (a schedule name,
+``heuristic``, or ``oracle_best``, swept as the single kernel column).
+Schedule and kernel names are validated against the registries with
+did-you-mean suggestions.
 
 The ``sweep`` command is generic over the application registry
 (``--app``, default ``spmv``) and exposes the harness's performance
@@ -38,6 +48,43 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _did_you_mean(name: str, known) -> str:
+    """Suggestion suffix for an unknown registry identifier."""
+    import difflib
+
+    close = difflib.get_close_matches(name, sorted(known), n=3, cutoff=0.5)
+    if close:
+        return f" -- did you mean {', '.join(repr(c) for c in close)}?"
+    return f" (known: {', '.join(sorted(known))})"
+
+
+def _check_kernels(kernels, app: str) -> str | None:
+    """Validate sweep kernel/schedule names; return an error or ``None``."""
+    from .core.schedule import available_schedules
+    from .engine import get_app
+    from .evaluation.harness import POLICY_KERNELS
+
+    known = set(available_schedules()) | set(POLICY_KERNELS)
+    known |= set(get_app(app).baselines)
+    for kernel in kernels:
+        if kernel not in known:
+            return f"unknown kernel {kernel!r}{_did_you_mean(kernel, known)}"
+    return None
+
+
+def _engine_arg(parser) -> None:
+    from .engine import available_engines
+
+    parser.add_argument(
+        "--engine", default="vector", choices=available_engines(),
+        help="registered execution engine (default: vector)",
+    )
+    parser.add_argument(
+        "--gpus", type=int, default=1,
+        help="device count; > 1 auto-selects the multi_gpu engine",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -60,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate", action="store_true", help="check against the oracle"
     )
     p_spmv.add_argument("--seed", type=int, default=0, help="seed for x")
+    _engine_arg(p_spmv)
 
     p_sweep = sub.add_parser("sweep", help="run the harness over the corpus")
     p_sweep.add_argument(
@@ -89,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="input seed (default: the shared DEFAULT_SEED)")
     p_sweep.add_argument("--no-validate", action="store_true",
                          help="skip the per-cell oracle check")
+    p_sweep.add_argument("--policy", default=None,
+                         help="sweep one schedule policy as the kernel "
+                              "column: a schedule name, 'heuristic', or "
+                              "'oracle_best' (mutually exclusive with "
+                              "--kernels)")
+    _engine_arg(p_sweep)
 
     p_ds = sub.add_parser("datasets", help="list the corpus")
     p_ds.add_argument("--scale", default="standard")
@@ -104,10 +158,21 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_spmv(args: argparse.Namespace) -> int:
     from .apps.spmv import spmv
     from .baselines.reference import dense_spmv_oracle
+    from .core.schedule import available_schedules
+    from .evaluation.harness import POLICY_KERNELS
     from .gpusim.arch import get_spec
     from .sparse.convert import coo_to_csr
     from .sparse.corpus import load_dataset
     from .sparse.mtx_io import read_mtx
+
+    known = set(available_schedules()) | set(POLICY_KERNELS)
+    if args.schedule not in known:
+        print(
+            f"unknown schedule {args.schedule!r}"
+            f"{_did_you_mean(args.schedule, known)}",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.mtx is not None:
         matrix = coo_to_csr(read_mtx(args.mtx))
@@ -116,10 +181,16 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
         ds = load_dataset(args.dataset, args.scale)
         matrix, name = ds.matrix, ds.name
 
-    from .engine import input_vector
+    from .engine import ExecutionContext, input_vector
 
+    ctx = ExecutionContext(
+        engine=args.engine,
+        spec=get_spec(args.spec),
+        policy=args.schedule,
+        gpus=args.gpus,
+    )
     x = input_vector(matrix.num_cols, args.seed)
-    result = spmv(matrix, x, schedule=args.schedule, spec=get_spec(args.spec))
+    result = spmv(matrix, x, ctx=ctx)
 
     print(f"Elapsed (ms): {result.elapsed_ms:.6f}")
     print(f"Matrix: {name}")
@@ -137,28 +208,45 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import csv as _csv
 
-    from .engine import DEFAULT_SEED, get_app
+    from .engine import DEFAULT_SEED, ExecutionContext, get_app
     from .evaluation.harness import PAPER_FIELDS, run_suite, write_csv
     from .gpusim.arch import get_spec
 
+    if args.policy is not None and args.kernels is not None:
+        print("--policy and --kernels are mutually exclusive", file=sys.stderr)
+        return 2
     kernels = args.kernels
-    if kernels is None:
+    if args.policy is not None:
+        kernels = [args.policy]
+    elif kernels is None:
         # Three representative schedules plus whatever hardwired
         # baselines the app competes against (SpMV: cub + cusparse).
         kernels = ["merge_path", "thread_mapped", "group_mapped"]
         kernels += sorted(get_app(args.app).baselines)
 
+    error = _check_kernels(kernels, args.app)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+
+    ctx = ExecutionContext(
+        engine=args.engine,
+        spec=get_spec(args.spec),
+        gpus=args.gpus,
+        plan_cache_dir=(
+            None if args.plan_cache_dir is None else str(args.plan_cache_dir)
+        ),
+    )
     rows = run_suite(
         kernels,
         app=args.app,
         scale=args.scale,
-        spec=get_spec(args.spec),
+        ctx=ctx,
         limit=args.limit,
         seed=DEFAULT_SEED if args.seed is None else args.seed,
         validate=not args.no_validate,
         max_workers=args.workers,
         executor=args.executor,
-        plan_cache_dir=args.plan_cache_dir,
     )
     include_app = args.app != "spmv"
     if args.output is not None:
@@ -209,10 +297,11 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
 
 
 def _cmd_schedules(_args: argparse.Namespace) -> int:
-    from .core.schedule import available_schedules
+    from .core.schedule import available_schedules, schedule_description
 
+    print(f"{'name':<16} description")
     for name in available_schedules():
-        print(name)
+        print(f"{name:<16} {schedule_description(name)}")
     return 0
 
 

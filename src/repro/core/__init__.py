@@ -9,8 +9,10 @@ Three stages, mirroring Figure 1:
 3. **Work execution** (:mod:`.ranges`): user-owned kernels consume the
    balanced work as composable ranges.
 
-Plus the Section 6.2 heuristic selector (:mod:`.heuristic`) and imbalance
-metrics (:mod:`.metrics`).
+Plus the Section 6.2 heuristic selector (:mod:`.heuristic`), the
+schedule-selection *policies* built on it (:mod:`.policy`: fixed /
+heuristic / per-kernel / oracle-best) and imbalance metrics
+(:mod:`.metrics`).
 """
 
 from . import schedules as _schedules  # noqa: F401  (registers schedules)
@@ -25,6 +27,15 @@ from .iterators import (
     make_transform_iterator,
 )
 from .metrics import ImbalanceReport, gini, imbalance_report, peak_to_mean
+from .policy import (
+    FixedPolicy,
+    HeuristicPolicy,
+    OracleBestPolicy,
+    PerKernelPolicy,
+    PolicyError,
+    SchedulePolicy,
+    as_policy,
+)
 from .ranges import (
     InfiniteRange,
     StepRange,
@@ -65,6 +76,13 @@ __all__ = [
     "ZipIterator",
     "counting_iterator",
     "make_transform_iterator",
+    "SchedulePolicy",
+    "FixedPolicy",
+    "HeuristicPolicy",
+    "PerKernelPolicy",
+    "OracleBestPolicy",
+    "PolicyError",
+    "as_policy",
     "ImbalanceReport",
     "gini",
     "imbalance_report",

@@ -15,7 +15,7 @@ views are tested for agreement.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 

@@ -43,6 +43,7 @@ __all__ = [
     "register_schedule",
     "make_schedule",
     "available_schedules",
+    "schedule_description",
 ]
 
 
@@ -240,6 +241,18 @@ def register_schedule(name: str) -> Callable[[type[Schedule]], type[Schedule]]:
 
 def available_schedules() -> list[str]:
     return sorted(_REGISTRY)
+
+
+def schedule_description(name: str) -> str:
+    """One-line description of a registered schedule.
+
+    The first line of the schedule class's docstring -- kept there so the
+    description can never drift from the implementation it documents.
+    """
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown schedule {name!r}; available: {available_schedules()}")
+    doc = (_REGISTRY[name].__doc__ or "").strip()
+    return doc.splitlines()[0].strip() if doc else ""
 
 
 def make_schedule(

@@ -9,12 +9,23 @@ level:
   oracle, a sweep-problem builder, optional hardwired baselines.
   :func:`run_app` is the single entry point the public app functions
   delegate to.
-* **Dispatch** (:mod:`.dispatch`) -- pluggable engines.
+* **Context** (:mod:`.context`) -- :class:`ExecutionContext`, the one
+  frozen, picklable execution-selection object: engine name, device
+  spec, :class:`~repro.core.policy.SchedulePolicy`, launch override,
+  schedule options, plan-cache directory and device count.  Every public
+  entry point accepts ``ctx=``; the legacy loose kwargs are a shim over
+  :meth:`ExecutionContext.from_kwargs`.
+* **Dispatch** (:mod:`.dispatch`) -- pluggable engines behind a registry
+  (:func:`register_engine` / :func:`available_engines` /
+  :func:`get_engine`), mirroring the schedule registry.
   :class:`VectorEngine` produces the functional result with NumPy and
   prices the launch with the schedule's analytic planner;
   :class:`SimtEngine` interprets the kernel body thread-by-thread on the
-  simulated GPU and folds the measured charges with the same cost model.
-  Applications describe launches; they never branch on an engine name.
+  simulated GPU and folds the measured charges with the same cost model;
+  :class:`~repro.engine.multi_gpu.MultiGpuEngine` partitions the
+  workload across simulated devices with the same schedules, so every
+  registered app inherits multi-device sweeps.  Applications describe
+  launches; they never branch on an engine name.
 * **Plan cache** (:mod:`.plan_cache`) -- planning is pure, so the vector
   engine memoizes :meth:`Schedule.plan` keyed by (schedule, launch
   geometry, work content, costs, device): corpus sweeps stop re-planning
@@ -30,16 +41,28 @@ The layering is strict: ``engine`` depends on ``core`` + ``gpusim`` +
 CLI consume both through the registry.
 """
 
+from ..core.policy import (
+    FixedPolicy,
+    HeuristicPolicy,
+    OracleBestPolicy,
+    PerKernelPolicy,
+    PolicyError,
+    SchedulePolicy,
+    as_policy,
+)
 from .dispatch import (
-    ENGINES,
     Engine,
     EngineError,
     Runtime,
     SimtEngine,
     VectorEngine,
+    available_engines,
     get_engine,
+    register_engine,
     resolve_schedule,
 )
+from .multi_gpu import MultiGpuEngine
+from .context import DEFAULT_CONTEXT, ExecutionContext
 from .plan_cache import (
     CACHE_DIR_ENV,
     CACHE_FORMAT_VERSION,
@@ -59,15 +82,31 @@ from .registry import (
 )
 from .seeding import DEFAULT_SEED, input_matrix, input_vector
 
+#: Deprecated alias for :func:`available_engines` -- the engine set is a
+#: registry now, not a hard-coded tuple.
+ENGINES = available_engines()
+
 __all__ = [
+    "SchedulePolicy",
+    "FixedPolicy",
+    "HeuristicPolicy",
+    "PerKernelPolicy",
+    "OracleBestPolicy",
+    "PolicyError",
+    "as_policy",
     "ENGINES",
     "Engine",
     "EngineError",
     "Runtime",
     "SimtEngine",
     "VectorEngine",
+    "MultiGpuEngine",
+    "available_engines",
     "get_engine",
+    "register_engine",
     "resolve_schedule",
+    "ExecutionContext",
+    "DEFAULT_CONTEXT",
     "CACHE_DIR_ENV",
     "CACHE_FORMAT_VERSION",
     "PlanCache",

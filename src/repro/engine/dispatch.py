@@ -12,6 +12,14 @@ load-balanced kernel launch described by four pieces:
   is a per-thread kernel for the SIMT interpreter and ``finalize()``
   yields the output buffer.
 
+Engines live in a *registry* mirroring the schedule registry: built-ins
+(:class:`VectorEngine`, :class:`SimtEngine`, and the multi-device
+:class:`~repro.engine.multi_gpu.MultiGpuEngine`) register themselves via
+:func:`register_engine`, :func:`available_engines` enumerates them, and
+:func:`get_engine` resolves an identifier -- so adding an execution
+strategy is a registration, never another plumbing pass through the call
+sites.
+
 :class:`VectorEngine` runs ``compute()`` and prices the launch through
 the analytic planner (memoized via :mod:`repro.engine.plan_cache`, whose
 optional disk layer persists plans across processes -- see the
@@ -29,6 +37,7 @@ from abc import ABC, abstractmethod
 from typing import Any, Callable
 
 from ..core.heuristic import HeuristicParams, select_schedule
+from ..core.policy import SchedulePolicy, as_policy
 from ..core.schedule import LaunchParams, Schedule, WorkCosts, make_schedule
 from ..core.work import WorkSpec
 from ..gpusim.arch import GpuSpec, V100
@@ -38,18 +47,16 @@ from ..sparse.csr import CsrMatrix
 from .plan_cache import PlanCache, global_plan_cache
 
 __all__ = [
-    "ENGINES",
     "EngineError",
     "Engine",
     "VectorEngine",
     "SimtEngine",
+    "register_engine",
+    "available_engines",
     "get_engine",
     "Runtime",
     "resolve_schedule",
 ]
-
-#: Engine identifiers the dispatcher understands.
-ENGINES = ("vector", "simt")
 
 
 class EngineError(RuntimeError):
@@ -155,30 +162,75 @@ class SimtEngine(Engine):
         return finalize(), stats
 
 
-_ENGINE_TYPES: dict[str, type[Engine]] = {
-    "vector": VectorEngine,
-    "simt": SimtEngine,
-}
+# ----------------------------------------------------------------------
+# Engine registry: execution strategies are selectable by name, exactly
+# like schedules -- registering an Engine is what makes it reachable
+# from every app, the harness and the CLI at once.
+# ----------------------------------------------------------------------
+_ENGINE_REGISTRY: dict[str, Callable[..., Engine]] = {}
 
 
-def get_engine(engine: str | Engine) -> Engine:
-    """Resolve an engine identifier (or pass an instance through)."""
+def register_engine(name: str, factory: Callable[..., Engine]) -> None:
+    """Add an engine to the global registry.
+
+    ``factory(**options) -> Engine`` is typically the engine class
+    itself; ``options`` are engine-specific construction knobs (e.g. the
+    multi-GPU engine's ``num_devices``).
+    """
+    if name in _ENGINE_REGISTRY:
+        raise ValueError(f"engine {name!r} already registered")
+    _ENGINE_REGISTRY[name] = factory
+
+
+def _ensure_engines() -> None:
+    # Importing the package registers every built-in engine (the
+    # multi-GPU engine lives in its own module to keep this one lean).
+    from . import multi_gpu  # noqa: F401
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names of every registered engine."""
+    _ensure_engines()
+    return tuple(sorted(_ENGINE_REGISTRY))
+
+
+def get_engine(engine: str | Engine, **options) -> Engine:
+    """Resolve an engine identifier (or pass an instance through).
+
+    ``options`` are forwarded to the registered factory -- engine
+    construction knobs like the multi-GPU engine's ``num_devices``.
+    """
     if isinstance(engine, Engine):
+        if options:
+            raise ValueError("engine options require an engine name, not an instance")
         return engine
-    if engine not in _ENGINE_TYPES:
-        raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")
-    return _ENGINE_TYPES[engine]()
+    _ensure_engines()
+    if engine not in _ENGINE_REGISTRY:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {available_engines()}"
+        )
+    return _ENGINE_REGISTRY[engine](**options)
+
+
+register_engine("vector", VectorEngine)
+register_engine("simt", SimtEngine)
 
 
 class Runtime:
     """Execution context of one application run.
 
-    Binds the engine, the device spec and the schedule selection
-    (name/instance + launch override + schedule options) so application
-    drivers only describe *what* to launch.  Iterative applications
-    (frontier loops, power iteration, multi-pass SpGEMM) call
-    :meth:`run_launch` once per kernel; single-kernel applications call
-    it once.
+    Binds the engine, the device spec and the schedule selection -- a
+    :class:`~repro.core.policy.SchedulePolicy` plus launch override and
+    schedule options -- so application drivers only describe *what* to
+    launch.  Iterative applications (frontier loops, power iteration,
+    multi-pass SpGEMM) call :meth:`run_launch` once per kernel;
+    single-kernel applications call it once.
+
+    The legacy ``schedule=`` argument (a name, ``"heuristic"``, or a
+    pre-built instance) is coerced into a policy via
+    :func:`~repro.core.policy.as_policy`; new code should construct an
+    :class:`~repro.engine.context.ExecutionContext` and call
+    :meth:`~repro.engine.context.ExecutionContext.runtime` instead.
     """
 
     def __init__(
@@ -189,12 +241,50 @@ class Runtime:
         schedule: str | Schedule | None = None,
         launch: LaunchParams | None = None,
         schedule_options: dict | None = None,
+        policy: SchedulePolicy | None = None,
     ):
+        if policy is not None and schedule is not None:
+            raise ValueError("pass either schedule= or policy=, not both")
         self.engine = get_engine(engine)
         self.spec = spec
         self.schedule = schedule
         self.launch = launch
         self.schedule_options = dict(schedule_options or {})
+        if policy is None and schedule is not None:
+            policy = as_policy(schedule)
+        self.policy = policy
+
+    def schedule_label(self) -> str:
+        """Printable name of this runtime's schedule selection."""
+        if isinstance(self.schedule, Schedule):
+            return self.schedule.name
+        if isinstance(self.schedule, str):
+            return self.schedule
+        return self.policy.describe() if self.policy is not None else "?"
+
+    def _policy_planner(self):
+        """Pricing hook for cost-aware policies (plan-cache backed).
+
+        The probe key must carry the runtime's schedule options: the same
+        (schedule, work, costs) planned under different options (e.g.
+        ``group_size``) yields different stats, and a constant key would
+        let one configuration's cached timings answer another's probe.
+        Unhashable options fall back to planning live.
+        """
+        cache = getattr(self.engine, "plan_cache", None)
+        if cache is None:
+            cache = global_plan_cache()
+        try:
+            options = tuple(sorted(self.schedule_options.items()))
+            hash(options)
+            probe_key = ("policy_probe",) + options
+        except TypeError:
+            probe_key = None  # options_key=None -> PlanCache plans live
+
+        def plan(sched: Schedule, costs: WorkCosts) -> KernelStats:
+            return cache.plan(sched, costs, options_key=probe_key)
+
+        return plan
 
     def schedule_for(
         self,
@@ -202,35 +292,57 @@ class Runtime:
         *,
         matrix: CsrMatrix | None = None,
         launch: LaunchParams | None | type[Ellipsis] = ...,
+        kernel: str | None = None,
+        costs: WorkCosts | None = None,
     ) -> Schedule:
         """Resolve this runtime's schedule selection against a workload.
 
         ``launch`` overrides the runtime's launch parameters for this one
         resolution (pass ``None`` to force the schedule's default sizing
         -- e.g. a secondary pass whose work shape differs from the first).
+        ``kernel`` labels the launch for :class:`PerKernelPolicy` routing
+        in multi-kernel applications; ``costs`` lets cost-aware policies
+        (:class:`OracleBestPolicy`) price candidates with the
+        application's real :class:`WorkCosts`.
         """
-        if self.schedule is None:
+        if self.policy is None:
             raise EngineError("Runtime was constructed without a schedule")
-        return resolve_schedule(
-            self.schedule,
+        launch_params = self.launch if launch is ... else launch
+        selected = self.policy.select(
             work,
             self.spec,
-            self.launch if launch is ... else launch,
+            matrix=matrix,
+            kernel=kernel,
+            costs=costs,
+            launch=launch_params,
+            plan=self._policy_planner(),
+            schedule_options=self.schedule_options,
+        )
+        if isinstance(selected, Schedule):
+            return selected
+        return resolve_schedule(
+            selected,
+            work,
+            self.spec,
+            launch_params,
             matrix=matrix,
             **self.schedule_options,
         )
 
     def _cache_key(self) -> tuple | None:
-        # Only name-resolved schedules are cacheable: a pre-built Schedule
-        # instance may carry options the key cannot observe.
-        if not isinstance(self.schedule, str):
+        # Only policies with a stable identity are cacheable: a pre-built
+        # Schedule instance may carry options the key cannot observe.
+        if self.policy is None:
+            return None
+        token = self.policy.cache_token()
+        if token is None:
             return None
         try:
             options = tuple(sorted(self.schedule_options.items()))
-            hash(options)
+            hash((token, options))
         except TypeError:
             return None
-        return (self.schedule,) + options
+        return (token,) + options
 
     def run_launch(
         self,

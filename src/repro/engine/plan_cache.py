@@ -65,7 +65,10 @@ __all__ = [
 #: Bump whenever the key schema, the pickled payload layout, or the
 #: planner semantics change: old cache directories then read as cold
 #: (version-mismatch entries are ignored) instead of serving stale plans.
-CACHE_FORMAT_VERSION = 1
+#: v2: ``options_key`` became the policy cache token of the
+#: ExecutionContext redesign (``("fixed", name)`` instead of the bare
+#: schedule name).
+CACHE_FORMAT_VERSION = 2
 
 #: Environment variable the process-wide cache reads its directory from
 #: (how process-pool sweep workers under ``spawn`` inherit the knob).

@@ -22,7 +22,7 @@ from typing import Any, Callable
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
-from ..gpusim.arch import GpuSpec, V100
+from ..gpusim.arch import GpuSpec
 from .dispatch import Engine, Runtime
 
 __all__ = [
@@ -133,24 +133,36 @@ def run_app(
     app: str | AppSpec,
     problem: Any,
     *,
+    ctx: "ExecutionContext | None" = None,
     schedule: str | Schedule | None = None,
-    engine: str | Engine = "vector",
-    spec: GpuSpec = V100,
+    engine: str | Engine | None = None,
+    spec: GpuSpec | None = None,
     launch: LaunchParams | None = None,
+    policy=None,
     **schedule_options,
 ):
     """Run one application through the engine dispatcher.
 
-    ``schedule=None`` selects the app's registered default.  ``engine``
-    is an identifier from :data:`~repro.engine.dispatch.ENGINES` or an
-    :class:`~repro.engine.dispatch.Engine` instance.
+    ``ctx`` is the single execution-selection argument: an
+    :class:`~repro.engine.context.ExecutionContext` bundling engine,
+    device spec, schedule policy, launch override and schedule options.
+    The loose kwargs (``engine=``, ``schedule=``, ``spec=``, ``launch=``,
+    ``**schedule_options``) are the deprecated pre-context spelling,
+    still accepted via :meth:`ExecutionContext.from_kwargs`; passing both
+    is an error.  A context (or ``schedule``/``policy``) without a
+    schedule selection falls back to the app's registered default.
     """
+    from .context import ExecutionContext
+
     app_spec = app if isinstance(app, AppSpec) else get_app(app)
-    runtime = Runtime(
-        engine,
+    context = ExecutionContext.from_kwargs(
+        ctx=ctx,
+        engine=engine,
+        schedule=schedule,
         spec=spec,
-        schedule=app_spec.default_schedule if schedule is None else schedule,
         launch=launch,
-        schedule_options=schedule_options,
+        policy=policy,
+        **schedule_options,
     )
+    runtime = context.runtime(default_schedule=app_spec.default_schedule)
     return app_spec.driver(problem, runtime)

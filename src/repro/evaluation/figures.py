@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..gpusim.arch import GpuSpec, V100
 from ..gpusim.profiler import geomean
 from .harness import SpmvRow, run_spmv_suite

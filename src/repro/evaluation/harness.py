@@ -48,8 +48,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from ..core.policy import as_policy
 from ..core.schedule import available_schedules
-from ..engine import DEFAULT_SEED, configure_global_plan_cache, get_app, run_app
+from ..engine import (
+    DEFAULT_SEED,
+    ExecutionContext,
+    configure_global_plan_cache,
+    get_app,
+    run_app,
+)
 from ..gpusim.arch import GpuSpec, V100
 from ..sparse.corpus import Dataset, build_corpus
 
@@ -64,6 +71,7 @@ __all__ = [
     "SPMV_KERNELS",
     "PAPER_FIELDS",
     "EXECUTORS",
+    "POLICY_KERNELS",
 ]
 
 #: Kernel identifiers the harness understands for SpMV.  Framework
@@ -137,6 +145,13 @@ def _build_problem(app_spec, app: str, dataset: Dataset, seed: int):
     return app_spec.sweep_problem(matrix, seed)
 
 
+#: Kernel identifiers that are schedule *policies*, not registry names:
+#: ``heuristic`` is the Section 6.2 selector, ``oracle_best`` prices every
+#: candidate schedule and picks the cheapest (the paper's "best of all
+#: schedules" line).
+POLICY_KERNELS = ("heuristic", "oracle_best")
+
+
 def _execute_cell(
     app_spec,
     app: str,
@@ -144,22 +159,21 @@ def _execute_cell(
     dataset: Dataset,
     problem,
     expected,
-    spec: GpuSpec,
-    engine: str,
+    ctx: ExecutionContext,
     validate: bool,
     seed: int = DEFAULT_SEED,
 ) -> SweepRow:
     """Run one prepared (app, kernel, dataset) cell and validate it."""
     matrix = dataset.matrix
     if kernel in app_spec.baselines:
-        y, stats = app_spec.baselines[kernel](problem, spec)
+        y, stats = app_spec.baselines[kernel](problem, ctx.spec)
         meta = dict(stats.extras)
-    elif kernel == "heuristic" or kernel in available_schedules():
-        result = run_app(app_spec, problem, schedule=kernel, engine=engine, spec=spec)
+    elif kernel in POLICY_KERNELS or kernel in available_schedules():
+        result = run_app(app_spec, problem, ctx=ctx.with_policy(as_policy(kernel)))
         y, stats = result.output, result.stats
         meta = {"schedule": result.schedule}
     else:
-        known = tuple(sorted(app_spec.baselines)) + ("heuristic",) + tuple(
+        known = tuple(sorted(app_spec.baselines)) + POLICY_KERNELS + tuple(
             available_schedules()
         )
         raise KeyError(f"unknown kernel {kernel!r}; known: {known}")
@@ -209,13 +223,19 @@ def run_cell(
     app: str,
     kernel: str,
     dataset: Dataset,
-    spec: GpuSpec = V100,
+    spec: GpuSpec | None = None,
     *,
-    engine: str = "vector",
+    ctx: ExecutionContext | None = None,
+    engine: str | None = None,
     seed: int = DEFAULT_SEED,
     validate: bool = True,
 ) -> SweepRow:
-    """Run one (app, kernel, dataset) cell and validate the result."""
+    """Run one (app, kernel, dataset) cell and validate the result.
+
+    ``ctx`` is the single execution-selection argument; the loose
+    ``spec=``/``engine=`` kwargs are the deprecated pre-context spelling.
+    """
+    ctx = ExecutionContext.from_kwargs(ctx=ctx, engine=engine, spec=spec)
     app_spec = get_app(app)
     problem = _build_problem(app_spec, app, dataset, seed)
     expected = (
@@ -224,7 +244,7 @@ def run_cell(
         else None
     )
     return _execute_cell(
-        app_spec, app, kernel, dataset, problem, expected, spec, engine, validate, seed
+        app_spec, app, kernel, dataset, problem, expected, ctx, validate, seed
     )
 
 
@@ -234,25 +254,37 @@ class _ShardTask:
 
     The worker rebuilds the (expensive) problem instance and oracle once
     and amortizes them over every kernel of the shard -- matrices cross
-    the pickle boundary once per dataset, never once per cell.
+    the pickle boundary once per dataset, never once per cell.  The
+    execution selection crosses as one :class:`ExecutionContext` (``ctx``);
+    the ``spec``/``engine``/``plan_cache_dir`` fields are the deprecated
+    pre-context spelling, honoured when no context is given.
     """
 
     app: str
     kernels: tuple
     dataset: Dataset
-    spec: GpuSpec
-    engine: str
-    seed: int
-    validate: bool
-    plan_cache_dir: str | None
+    spec: GpuSpec = V100
+    engine: str = "vector"
+    seed: int = DEFAULT_SEED
+    validate: bool = True
+    plan_cache_dir: str | None = None
+    ctx: ExecutionContext | None = None
+
+    def context(self) -> ExecutionContext:
+        if self.ctx is not None:
+            return self.ctx
+        return ExecutionContext(
+            engine=self.engine, spec=self.spec, plan_cache_dir=self.plan_cache_dir
+        )
 
 
 def _run_shard(task: _ShardTask) -> list[SweepRow]:
     """Process-pool worker: run every kernel of one (app, dataset) shard."""
-    if task.plan_cache_dir is not None:
+    ctx = task.context()
+    if ctx.plan_cache_dir is not None:
         # Warm-start the worker from the persistent plan cache (and
         # persist whatever it plans for the next process).
-        configure_global_plan_cache(task.plan_cache_dir)
+        configure_global_plan_cache(ctx.plan_cache_dir)
     app_spec = get_app(task.app)
     problem = _build_problem(app_spec, task.app, task.dataset, task.seed)
     expected = (
@@ -268,8 +300,7 @@ def _run_shard(task: _ShardTask) -> list[SweepRow]:
             task.dataset,
             problem,
             expected,
-            task.spec,
-            task.engine,
+            ctx,
             task.validate,
             task.seed,
         )
@@ -282,17 +313,26 @@ def run_suite(
     *,
     app: str = "spmv",
     scale: str = "standard",
-    spec: GpuSpec = V100,
+    spec: GpuSpec | None = None,
     datasets: Iterable[Dataset] | None = None,
     limit: int | None = None,
-    engine: str = "vector",
+    engine: str | None = None,
     seed: int = DEFAULT_SEED,
     validate: bool = True,
     max_workers: int | None = None,
     executor: str = "thread",
     plan_cache_dir: str | Path | None = None,
+    ctx: ExecutionContext | None = None,
 ) -> list[SweepRow]:
     """Run a kernel list over the corpus (the ``run.sh`` loop), generic.
+
+    ``ctx`` is the single execution-selection argument (engine, device
+    spec, plan-cache directory, device count); the per-cell kernel name
+    supplies the schedule policy.  The loose ``spec=``/``engine=``/
+    ``plan_cache_dir=`` kwargs are the deprecated pre-context spelling;
+    passing them alongside ``ctx`` is an error.  The context is what
+    crosses the process-pool pickle boundary in ``executor="process"``
+    sweeps.
 
     Datasets the app cannot accept (e.g. rectangular matrices for graph
     apps) are skipped.  Fan-out, worker count and plan-cache persistence
@@ -303,15 +343,21 @@ def run_suite(
     """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+    ctx = ExecutionContext.from_kwargs(
+        ctx=ctx,
+        engine=engine,
+        spec=spec,
+        plan_cache_dir=None if plan_cache_dir is None else str(plan_cache_dir),
+    )
     app_spec = get_app(app)
     ds = list(datasets) if datasets is not None else build_corpus(scale, limit=limit)
     if app_spec.accepts is not None:
         ds = [d for d in ds if app_spec.accepts(d.matrix)]
-    cache_dir = None if plan_cache_dir is None else str(plan_cache_dir)
+    cache_dir = ctx.plan_cache_dir
     if cache_dir is None:
         return _run_suite_prepared(
-            kernels, app, app_spec, ds, spec, engine, seed, validate,
-            max_workers, executor, cache_dir,
+            kernels, app, app_spec, ds, ctx, seed, validate,
+            max_workers, executor,
         )
     # Attach the persistent layer for the duration of the sweep only:
     # callers must not find the process-global cache silently re-pointed
@@ -322,8 +368,8 @@ def run_suite(
     configure_global_plan_cache(cache_dir)
     try:
         return _run_suite_prepared(
-            kernels, app, app_spec, ds, spec, engine, seed, validate,
-            max_workers, executor, cache_dir,
+            kernels, app, app_spec, ds, ctx, seed, validate,
+            max_workers, executor,
         )
     finally:
         configure_global_plan_cache(previous)
@@ -334,13 +380,11 @@ def _run_suite_prepared(
     app: str,
     app_spec,
     ds: list[Dataset],
-    spec: GpuSpec,
-    engine: str,
+    ctx: ExecutionContext,
     seed: int,
     validate: bool,
     max_workers: int | None,
     executor: str,
-    cache_dir: str | None,
 ) -> list[SweepRow]:
     """The executor dispatch behind :func:`run_suite` (cache configured)."""
     if executor == "process" and ds:
@@ -349,11 +393,9 @@ def _run_suite_prepared(
                 app=app,
                 kernels=tuple(kernels),
                 dataset=dataset,
-                spec=spec,
-                engine=engine,
                 seed=seed,
                 validate=validate,
-                plan_cache_dir=cache_dir,
+                ctx=ctx,
             )
             for dataset in ds
         ]
@@ -378,7 +420,7 @@ def _run_suite_prepared(
     def one(cell) -> SweepRow:
         dataset, kernel, problem, expected = cell
         return _execute_cell(
-            app_spec, app, kernel, dataset, problem, expected, spec, engine,
+            app_spec, app, kernel, dataset, problem, expected, ctx,
             validate, seed,
         )
 

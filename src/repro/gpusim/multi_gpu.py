@@ -92,12 +92,18 @@ def multi_gpu_plan(
     spec: GpuSpec | None = None,
     num_devices: int = 2,
     partition: str = "merge_path",
+    plan_shard=None,
     **schedule_options,
 ) -> MultiGpuStats:
     """Plan a workload across ``num_devices`` homogeneous GPUs.
 
     ``work`` is a :class:`~repro.core.work.WorkSpec`; each shard becomes
     its own WorkSpec scheduled independently with ``schedule``.
+
+    ``plan_shard(sched, costs, extras) -> KernelStats`` overrides how one
+    shard's schedule is priced (default: ``sched.plan``); the engine
+    layer uses it to route shard planning through its plan cache without
+    duplicating this loop.
     """
     from ..core.schedule import make_schedule
     from ..core.work import WorkSpec
@@ -115,7 +121,11 @@ def multi_gpu_plan(
         if shard.num_tiles == 0 and shard.num_atoms == 0:
             continue
         sched = make_schedule(schedule, shard, spec, **schedule_options)
-        device_stats.append(sched.plan(costs, extras={"device": d}))
+        extras = {"device": d}
+        device_stats.append(
+            plan_shard(sched, costs, extras) if plan_shard is not None
+            else sched.plan(costs, extras=extras)
+        )
 
     if not device_stats:
         raise ValueError("empty workload: nothing to plan")

@@ -10,7 +10,6 @@ from repro.baselines.cusparse_spmv import (
     cusparse_spmv,
 )
 from repro.baselines.reference import dense_spmv_oracle
-from repro.gpusim.arch import V100
 from repro.sparse import generators as gen
 
 

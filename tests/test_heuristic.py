@@ -1,7 +1,5 @@
 """Tests for the Section 6.2 schedule-selection heuristic."""
 
-import pytest
-
 from repro.core.heuristic import DEFAULT_HEURISTIC, HeuristicParams, select_schedule
 from repro.sparse import generators as gen
 

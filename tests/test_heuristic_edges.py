@@ -1,0 +1,124 @@
+"""Edge-case tests for the Section 6.2 schedule selector.
+
+The selector was previously exercised only indirectly through sweeps;
+these pin its behaviour on the degenerate inputs the corpus never
+produces: empty matrices, single-column shapes, thresholds hit exactly,
+and the all-empty-rows path through the CV statistics.
+"""
+
+import numpy as np
+
+from repro.core.heuristic import DEFAULT_HEURISTIC, HeuristicParams, select_schedule
+from repro.sparse.csr import CsrMatrix
+
+
+def _matrix_from_counts(counts, num_cols):
+    """Build a CSR with the given row lengths (columns cycle round-robin)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    nnz = int(offsets[-1])
+    cols = np.concatenate(
+        [np.arange(c, dtype=np.int64) % max(1, num_cols) for c in counts]
+    ) if nnz else np.zeros(0, dtype=np.int64)
+    return CsrMatrix.from_arrays(
+        offsets, cols, np.ones(nnz), (counts.size, num_cols), validate=False
+    )
+
+
+class TestEmptyAndDegenerate:
+    def test_zero_by_zero_matrix(self):
+        m = CsrMatrix.from_arrays(
+            np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            np.zeros(0), (0, 0), validate=False,
+        )
+        # Empty degree statistics must not divide by zero; the uniform
+        # (zero-overhead) branch wins.
+        assert select_schedule(m) == "thread_mapped"
+
+    def test_all_empty_rows_cv_path(self):
+        # mean = 0 exercises the guarded cv = std/mean computation.
+        m = _matrix_from_counts([0] * 50, 50)
+        stats = m.degree_stats()
+        assert stats["mean"] == 0.0 and stats["cv"] == 0.0
+        assert select_schedule(m) == "thread_mapped"
+
+    def test_single_column_always_thread_mapped(self):
+        # cols == 1: even a skewed degree profile stays thread-mapped
+        # (the explicit `cols == 1` arm).
+        m = _matrix_from_counts([1] * 9 + [300], 1)
+        assert m.degree_stats()["cv"] > DEFAULT_HEURISTIC.uniform_cv_cutoff
+        assert select_schedule(m) == "thread_mapped"
+
+
+class TestThresholdBoundaries:
+    def test_rows_exactly_at_alpha_is_large(self):
+        # `rows < alpha` is strict: exactly-at-threshold counts as large.
+        alpha = DEFAULT_HEURISTIC.alpha
+        m = _matrix_from_counts([1] * alpha, alpha)
+        assert select_schedule(m) == "merge_path"
+
+    def test_rows_one_below_alpha_is_small(self):
+        alpha = DEFAULT_HEURISTIC.alpha
+        m = _matrix_from_counts([1] * (alpha - 1), alpha - 1)
+        assert select_schedule(m) == "thread_mapped"
+
+    def test_nnz_exactly_at_beta_is_large(self):
+        # `nnz < beta` is strict too.
+        params = HeuristicParams(alpha=500, beta=100)
+        m = _matrix_from_counts([1] * 100, 100)  # small shape, nnz == beta
+        assert select_schedule(m, params) == "merge_path"
+        m_small = _matrix_from_counts([1] * 99, 99)  # nnz == beta - 1
+        assert select_schedule(m_small, params) == "thread_mapped"
+
+    def test_rectangular_small_side_triggers_small_branch(self):
+        # `rows < alpha OR cols < alpha`: one small side is enough.
+        m = _matrix_from_counts([1] * 10, 10**6)
+        assert m.shape == (10, 10**6)
+        assert select_schedule(m) == "thread_mapped"
+
+
+class TestSmallMatrixDispatch:
+    def test_uniform_tiny_rows_prefer_thread_mapped(self):
+        m = _matrix_from_counts([2] * 64, 64)
+        assert select_schedule(m) == "thread_mapped"
+
+    def test_skewed_small_rows_prefer_group_mapped(self):
+        # Mean under the cutoff but CV far above it.
+        counts = [0] * 60 + [60]
+        m = _matrix_from_counts(counts, 64)
+        stats = m.degree_stats()
+        assert stats["mean"] <= DEFAULT_HEURISTIC.uniform_mean_cutoff
+        assert stats["cv"] > DEFAULT_HEURISTIC.uniform_cv_cutoff
+        assert select_schedule(m) == "group_mapped"
+
+    def test_dense_small_rows_prefer_group_mapped(self):
+        # Mean above the cutoff alone routes away from thread-mapped.
+        m = _matrix_from_counts([8] * 64, 64)
+        assert select_schedule(m) == "group_mapped"
+
+    def test_cutoff_boundaries_are_inclusive(self):
+        # mean == uniform_mean_cutoff and cv == uniform_cv_cutoff (0 here)
+        # stay on the thread-mapped side (`<=` comparisons).
+        cutoff = int(DEFAULT_HEURISTIC.uniform_mean_cutoff)
+        assert float(cutoff) == DEFAULT_HEURISTIC.uniform_mean_cutoff
+        m = _matrix_from_counts([cutoff] * 32, 32)
+        stats = m.degree_stats()
+        assert stats["mean"] == DEFAULT_HEURISTIC.uniform_mean_cutoff
+        assert stats["cv"] == 0.0
+        assert select_schedule(m) == "thread_mapped"
+
+
+class TestPolicyParity:
+    def test_heuristic_policy_agrees_on_edge_cases(self):
+        """The HeuristicPolicy wrapper must route through the same
+        selector, including on degenerate inputs."""
+        from repro.core.policy import HeuristicPolicy
+        from repro.core.work import WorkSpec
+        from repro.gpusim.arch import V100
+
+        for counts, cols in ([0] * 50, 50), ([2] * 64, 64), ([8] * 64, 64):
+            m = _matrix_from_counts(counts, cols)
+            work = WorkSpec.from_csr(m)
+            assert HeuristicPolicy().select(work, V100, matrix=m) == \
+                select_schedule(m)

@@ -1,7 +1,5 @@
 """Tests for the Table 1 lines-of-code measurement."""
 
-import pytest
-
 from repro.evaluation.loc import (
     PAPER_TABLE1,
     count_loc,

@@ -6,7 +6,6 @@ The fundamental correctness invariant of the load-balancing stage
 silently corrupt every application built on top.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

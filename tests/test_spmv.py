@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps.spmv import spmv, spmv_reference
-from repro.core.schedule import LaunchParams, available_schedules, make_schedule
+from repro.core.schedule import available_schedules, make_schedule
 from repro.core.work import WorkSpec
 from repro.gpusim.arch import AMD_WARP64, TINY_GPU, V100
 from repro.sparse import generators as gen
