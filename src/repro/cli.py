@@ -30,11 +30,17 @@ knobs:
 * ``--executor {serial,thread,process}`` -- fan independent cells out
   over a thread pool, or shard by dataset over a process pool (each
   worker builds the problem/oracle once per dataset and runs every
-  kernel of that cell, dodging the GIL for pure-Python sections);
+  kernel of that cell, dodging the GIL for pure-Python sections; CSR
+  payloads travel through shared memory, small shards are batched);
+* ``--keep-pool`` -- route the sweep through the process-wide persistent
+  worker pool so repeated invocations in one process reuse warm workers;
 * ``--workers N`` -- pool width for either executor;
-* ``--plan-cache-dir DIR`` -- persist the engine's plan cache on disk so
-  repeated sweeps of the same grid (and every process-pool worker)
-  start warm instead of re-planning identical launches.
+* ``--plan-cache-dir DIR`` -- persist the engine's plan cache on disk
+  (one file per plan) so repeated sweeps of the same grid (and every
+  process-pool worker) start warm instead of re-planning identical
+  launches;
+* ``--plan-store FILE`` -- same persistence as a single append-only
+  journal file (the corpus-scale layout: one open instead of thousands).
 """
 
 from __future__ import annotations
@@ -133,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--plan-cache-dir", type=Path, default=None,
                          help="directory for the persistent plan cache "
                               "(warm-starts repeated sweeps and workers)")
+    p_sweep.add_argument("--plan-store", type=Path, default=None,
+                         help="single-file journaled plan store (the "
+                              "corpus-scale alternative to --plan-cache-dir)")
+    p_sweep.add_argument("--keep-pool", action="store_true",
+                         help="with --executor process: reuse the "
+                              "process-wide persistent worker pool instead "
+                              "of spawning one per sweep")
     p_sweep.add_argument("--seed", type=int, default=None,
                          help="input seed (default: the shared DEFAULT_SEED)")
     p_sweep.add_argument("--no-validate", action="store_true",
@@ -228,6 +241,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if error is not None:
         print(error, file=sys.stderr)
         return 2
+    if args.plan_cache_dir is not None and args.plan_store is not None:
+        print("--plan-cache-dir and --plan-store are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.keep_pool and args.executor != "process":
+        print("--keep-pool requires --executor process", file=sys.stderr)
+        return 2
 
     ctx = ExecutionContext(
         engine=args.engine,
@@ -236,6 +256,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         plan_cache_dir=(
             None if args.plan_cache_dir is None else str(args.plan_cache_dir)
         ),
+        plan_store=None if args.plan_store is None else str(args.plan_store),
     )
     rows = run_suite(
         kernels,
@@ -247,6 +268,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         validate=not args.no_validate,
         max_workers=args.workers,
         executor=args.executor,
+        keep_pool=args.keep_pool,
     )
     include_app = args.app != "spmv"
     if args.output is not None:

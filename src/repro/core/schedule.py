@@ -273,4 +273,10 @@ def make_schedule(
     cls = _REGISTRY[name]
     if launch is None:
         launch = cls.default_launch(work, spec)
-    return cls(work, spec, launch, **options)
+    sched = cls(work, spec, launch, **options)
+    # Remember the construction options so layers that re-instantiate the
+    # schedule on derived workloads (the multi-GPU engine re-scheduling
+    # each device shard) reproduce the same configuration instead of
+    # silently reverting to defaults.
+    sched.construction_options = dict(options)
+    return sched

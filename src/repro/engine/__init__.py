@@ -29,10 +29,18 @@ level:
 * **Plan cache** (:mod:`.plan_cache`) -- planning is pure, so the vector
   engine memoizes :meth:`Schedule.plan` keyed by (schedule, launch
   geometry, work content, costs, device): corpus sweeps stop re-planning
-  identical launches.  An optional disk layer (``plan_cache_dir`` on the
-  harness/CLI, or ``REPRO_PLAN_CACHE_DIR``) persists plans across
-  processes, so repeated figure benches and process-pool sweep workers
-  start warm.
+  identical launches.  An optional disk layer persists plans across
+  processes in one of two layouts: one file per plan (``plan_cache_dir``
+  / ``REPRO_PLAN_CACHE_DIR``) or the corpus-scale append-only
+  single-file journal of :mod:`.plan_store` (``plan_store`` /
+  ``REPRO_PLAN_STORE``), so repeated figure benches and process-pool
+  sweep workers start warm.
+* **Worker pool** (:mod:`.worker_pool`) -- :class:`SweepExecutor`, the
+  persistent process pool behind ``executor="process"`` sweeps: warm
+  workers survive across ``run_suite`` calls (``keep_pool=True`` shares
+  the module-wide :func:`default_executor`), small shards are batched
+  into one pickle crossing, and CSR dataset payloads travel through
+  ``multiprocessing.shared_memory`` instead of the pickle stream.
 * **Seeding** (:mod:`.seeding`) -- the one deterministic input-vector
   helper shared by the CLI, the harness and the tests.
 
@@ -66,11 +74,18 @@ from .context import DEFAULT_CONTEXT, ExecutionContext
 from .plan_cache import (
     CACHE_DIR_ENV,
     CACHE_FORMAT_VERSION,
+    PLAN_STORE_ENV,
     PlanCache,
     clear_plan_cache,
     configure_global_plan_cache,
     global_plan_cache,
     work_fingerprint,
+)
+from .plan_store import STORE_FORMAT_VERSION, PlanStore
+from .worker_pool import (
+    SweepExecutor,
+    default_executor,
+    shutdown_default_executor,
 )
 from .registry import (
     AppSpec,
@@ -109,7 +124,13 @@ __all__ = [
     "DEFAULT_CONTEXT",
     "CACHE_DIR_ENV",
     "CACHE_FORMAT_VERSION",
+    "PLAN_STORE_ENV",
+    "STORE_FORMAT_VERSION",
     "PlanCache",
+    "PlanStore",
+    "SweepExecutor",
+    "default_executor",
+    "shutdown_default_executor",
     "clear_plan_cache",
     "configure_global_plan_cache",
     "global_plan_cache",

@@ -74,6 +74,10 @@ class MultiGpuEngine(Engine):
                 dev_sched, dev_costs, extras=dev_extras, options_key=dev_key
             )
 
+        # Re-schedule each shard with the caller's schedule options (a
+        # ``group_size`` override must shape the per-device launches the
+        # same way it shaped the single-device one), not the defaults.
+        options = getattr(sched, "construction_options", None) or {}
         try:
             ensemble = multi_gpu_plan(
                 sched.work,
@@ -83,6 +87,7 @@ class MultiGpuEngine(Engine):
                 num_devices=self.num_devices,
                 partition=self.partition,
                 plan_shard=plan_shard,
+                **options,
             )
         except ValueError:
             # Degenerate empty workload: one device, nothing to split.

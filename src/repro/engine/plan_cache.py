@@ -33,6 +33,23 @@ The disk layer can never change behaviour, only skip recomputation:
 * entries are versioned (:data:`CACHE_FORMAT_VERSION`) and carry their
   full key; a version bump, a hash collision or a corrupted/truncated
   file reads as a miss, never as an error.
+
+Two disk layouts are available, selected by which knob is set:
+
+``cache_dir``
+    One pickle file per plan under a directory -- simple, fully
+    concurrent, but corpus-squared workloads (full scale x every
+    schedule) pay one ``open`` per plan and leave thousands of files.
+``store_path``
+    One append-only journal file for *all* plans
+    (:class:`~repro.engine.plan_store.PlanStore`): a single open + one
+    sequential scan per process, CRC-verified records, in-memory index,
+    compaction.  The harness/CLI spelling is ``plan_store`` /
+    ``--plan-store``; the process-wide cache reads
+    ``REPRO_PLAN_STORE`` (which outranks ``REPRO_PLAN_CACHE_DIR``).
+
+Both layouts share the versioned-payload contract; a cache can have at
+most one disk layer attached at a time.
 """
 
 from __future__ import annotations
@@ -51,6 +68,7 @@ import numpy as np
 from ..core.schedule import Schedule, WorkCosts
 from ..core.work import WorkSpec
 from ..gpusim.cost_model import KernelStats
+from .plan_store import PlanStore
 
 __all__ = [
     "PlanCache",
@@ -60,6 +78,7 @@ __all__ = [
     "clear_plan_cache",
     "CACHE_FORMAT_VERSION",
     "CACHE_DIR_ENV",
+    "PLAN_STORE_ENV",
 ]
 
 #: Bump whenever the key schema, the pickled payload layout, or the
@@ -73,6 +92,10 @@ CACHE_FORMAT_VERSION = 2
 #: Environment variable the process-wide cache reads its directory from
 #: (how process-pool sweep workers under ``spawn`` inherit the knob).
 CACHE_DIR_ENV = "REPRO_PLAN_CACHE_DIR"
+
+#: Environment variable selecting the single-file journal store for the
+#: process-wide cache.  When both are set, the store wins.
+PLAN_STORE_ENV = "REPRO_PLAN_STORE"
 
 
 def work_fingerprint(work: WorkSpec) -> tuple[int, int, int]:
@@ -93,7 +116,14 @@ class PlanCache:
     fresh process).
     """
 
-    def __init__(self, maxsize: int = 1024, cache_dir: str | Path | None = None):
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        cache_dir: str | Path | None = None,
+        store_path: str | Path | None = None,
+    ):
+        if cache_dir is not None and store_path is not None:
+            raise ValueError("pass either cache_dir= or store_path=, not both")
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
@@ -101,7 +131,11 @@ class PlanCache:
         self._entries: OrderedDict[tuple, KernelStats] = OrderedDict()
         self._lock = threading.Lock()
         self._cache_dir: Path | None = None
-        self.set_cache_dir(cache_dir)
+        self._store: PlanStore | None = None
+        if store_path is not None:
+            self.set_store_path(store_path)
+        else:
+            self.set_cache_dir(cache_dir)
 
     # ------------------------------------------------------------------
     # Persistence plumbing
@@ -110,14 +144,52 @@ class PlanCache:
     def cache_dir(self) -> Path | None:
         return self._cache_dir
 
+    @property
+    def store_path(self) -> Path | None:
+        return self._store.path if self._store is not None else None
+
+    @property
+    def store(self) -> PlanStore | None:
+        """The attached journal store, if that disk layout is selected."""
+        return self._store
+
+    def _detach_disk(self) -> None:
+        self._cache_dir = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
     def set_cache_dir(self, cache_dir: str | Path | None) -> None:
-        """Attach (or detach, with ``None``) the disk layer."""
+        """Attach the per-file disk layer (``None`` detaches any layer).
+
+        Re-attaching the directory already in use is a no-op, so warm
+        pool workers can assert their configuration per shard for free.
+        """
+        if cache_dir is not None and self._cache_dir == Path(cache_dir):
+            return
+        self._detach_disk()
         if cache_dir is None:
-            self._cache_dir = None
             return
         path = Path(cache_dir)
         path.mkdir(parents=True, exist_ok=True)
         self._cache_dir = path
+
+    def set_store_path(self, store_path: str | Path | None) -> None:
+        """Attach the single-file journal layer (``None`` detaches).
+
+        Re-attaching the journal already open is a no-op (the in-memory
+        index and its warmth are kept).
+        """
+        if (
+            store_path is not None
+            and self._store is not None
+            and self._store.path == Path(store_path)
+        ):
+            return
+        self._detach_disk()
+        if store_path is None:
+            return
+        self._store = PlanStore(store_path)
 
     def _entry_path(self, key: tuple) -> Path:
         digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
@@ -126,6 +198,17 @@ class PlanCache:
 
     def _disk_load(self, key: tuple) -> KernelStats | None:
         """Read one persisted plan; any defect whatsoever reads as a miss."""
+        if self._store is not None:
+            try:
+                payload = self._store.get(key)
+            except Exception:
+                return None
+            if not isinstance(payload, dict):
+                return None
+            if payload.get("version") != CACHE_FORMAT_VERSION:
+                return None
+            stats = payload.get("stats")
+            return stats if isinstance(stats, KernelStats) else None
         if self._cache_dir is None:
             return None
         try:
@@ -144,6 +227,14 @@ class PlanCache:
 
     def _disk_store(self, key: tuple, stats: KernelStats) -> None:
         """Persist one plan atomically; failures are silently dropped."""
+        if self._store is not None:
+            try:
+                self._store.put(
+                    key, {"version": CACHE_FORMAT_VERSION, "stats": stats}
+                )
+            except Exception:  # unpicklable key part, disk full, ...: skip
+                pass
+            return
         if self._cache_dir is None:
             return
         path = self._entry_path(key)
@@ -243,14 +334,27 @@ class PlanCache:
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
                 "cache_dir": str(self._cache_dir) if self._cache_dir else None,
+                "store_path": (
+                    str(self._store.path) if self._store is not None else None
+                ),
+                "store_records": (
+                    len(self._store) if self._store is not None else None
+                ),
             }
 
 
 def _build_global() -> PlanCache:
     # The env-var attachment must honour the disk layer's contract --
     # never change behaviour, only skip recomputation -- so an unusable
-    # REPRO_PLAN_CACHE_DIR (unwritable, path through a file, ...) reads
-    # as "no disk layer" instead of crashing every import of the package.
+    # REPRO_PLAN_STORE / REPRO_PLAN_CACHE_DIR (unwritable, path through a
+    # file, foreign journal, ...) reads as "no disk layer" instead of
+    # crashing every import of the package.
+    store = os.environ.get(PLAN_STORE_ENV) or None
+    if store is not None:
+        try:
+            return PlanCache(store_path=store)
+        except Exception:
+            return PlanCache()
     try:
         return PlanCache(cache_dir=os.environ.get(CACHE_DIR_ENV) or None)
     except OSError:
@@ -268,15 +372,23 @@ def global_plan_cache() -> PlanCache:
 def configure_global_plan_cache(
     cache_dir: str | Path | None = ...,  # type: ignore[assignment]
     *,
+    store_path: str | Path | None = ...,  # type: ignore[assignment]
     maxsize: int | None = None,
 ) -> PlanCache:
     """Reconfigure the process-wide cache (the CLI/harness knob).
 
-    ``cache_dir`` attaches the persistent disk layer (``None`` detaches
-    it; leave it unset to keep the current directory); ``maxsize``
-    resizes the in-memory LRU.  Returns the global cache for chaining.
+    ``cache_dir`` attaches the per-file disk layer; ``store_path``
+    attaches the single-file journal layer instead (a cache holds at
+    most one layer, so setting either detaches the other).  ``None``
+    detaches; leave both unset to keep the current attachment.
+    ``maxsize`` resizes the in-memory LRU.  Returns the global cache for
+    chaining.
     """
-    if cache_dir is not ...:
+    if cache_dir is not ... and store_path is not ...:
+        raise ValueError("pass either cache_dir= or store_path=, not both")
+    if store_path is not ...:
+        _GLOBAL.set_store_path(store_path)
+    elif cache_dir is not ...:
         _GLOBAL.set_cache_dir(cache_dir)
     if maxsize is not None:
         _GLOBAL.maxsize = maxsize

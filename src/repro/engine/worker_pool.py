@@ -1,0 +1,622 @@
+"""Persistent sweep execution: warm worker pools + shared-memory transport.
+
+The harness's original ``executor="process"`` path rebuilt the world per
+call: every ``run_suite`` spawned a fresh
+:class:`~concurrent.futures.ProcessPoolExecutor`, pickled every dataset's
+CSR arrays across the pipe, and started each worker with a cold plan
+cache -- so at smoke scale the process executor *lost* to serial (see
+``BENCH_sweep.json``).  This module amortizes all three costs, the same
+way persistent GPU runtimes amortize context/handle creation across
+kernel launches:
+
+:class:`SweepExecutor`
+    A reusable, lazily-spawned worker pool.  The pool survives across
+    ``run_suite`` calls and across apps; workers are warmed once by an
+    initializer (NumPy + the app registry imported, the persistent plan
+    cache attached) and keep their in-memory plan caches between sweeps.
+    Use it as a context manager, or share the module-level
+    :func:`default_executor` (the harness's ``keep_pool=True``).
+
+Shard batching
+    Small datasets are grouped into contiguous batches so one pickle
+    crossing carries several shards; big datasets still travel alone.
+    Results come back per shard, in submission order.
+
+Shared-memory dataset transport
+    CSR array payloads (``row_offsets`` / ``col_indices`` / ``values``)
+    are published once via :mod:`multiprocessing.shared_memory` and
+    reattached zero-copy in the workers -- the task pickle carries a
+    small handle instead of the arrays.  Problems whose matrices are not
+    CSR (or platforms without shared memory) fall back to plain
+    pickling; both transports produce identical
+    :class:`~repro.evaluation.harness.SweepRow` sets.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import itertools
+import os
+import threading
+import zlib
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..sparse.corpus import Dataset
+from ..sparse.csr import CsrMatrix
+
+__all__ = [
+    "SweepExecutor",
+    "SharedDatasetHandle",
+    "default_executor",
+    "shutdown_default_executor",
+    "TRANSPORTS",
+]
+
+#: Dataset transports :class:`SweepExecutor` understands.  ``auto``
+#: publishes CSR payloads through shared memory and falls back to
+#: pickling anything else; ``shm`` / ``pickle`` force one path.
+TRANSPORTS = ("auto", "shm", "pickle")
+
+_INT = np.dtype(np.int64)
+_FLT = np.dtype(np.float64)
+
+
+def _shared_memory():
+    """The stdlib shared-memory module, or ``None`` when unsupported."""
+    try:
+        from multiprocessing import shared_memory
+
+        return shared_memory
+    except ImportError:  # pragma: no cover - always present on CPython
+        return None
+
+
+# ----------------------------------------------------------------------
+# Shared-memory dataset transport
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedDatasetHandle:
+    """Picklable stand-in for a :class:`Dataset` whose arrays live in shm.
+
+    The handle carries only names, counts and the block name; workers
+    rebuild the CSR matrix as zero-copy NumPy views over the attached
+    buffer.  Layout inside the block: ``row_offsets`` (int64,
+    ``rows + 1``), then ``col_indices`` (int64, ``nnz``), then ``values``
+    (float64, ``nnz``), contiguous.
+    """
+
+    shm_name: str
+    dataset_name: str
+    family: str
+    rows: int
+    cols: int
+    nnz: int
+    meta: dict = field(default_factory=dict)
+
+    def _layout(self) -> tuple[int, int, int]:
+        """Byte offsets of (col_indices, values, total_size)."""
+        off_cols = (self.rows + 1) * _INT.itemsize
+        off_vals = off_cols + self.nnz * _INT.itemsize
+        total = off_vals + self.nnz * _FLT.itemsize
+        return off_cols, off_vals, total
+
+
+class _PublishedDataset:
+    """Owner-side record of one shm block (parent closes + unlinks).
+
+    Published blocks are cached by the executor across sweeps (``pins``
+    guards in-flight use, ``tick`` drives LRU eviction) -- repeated
+    sweeps of the same corpus publish each dataset exactly once.
+    """
+
+    def __init__(self, handle: SharedDatasetHandle, shm) -> None:
+        self.handle = handle
+        self.shm = shm
+        self.pins = 0
+        self.tick = 0
+        self.nbytes = shm.size
+
+    def unlink(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - no exports kept here
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def dataset_content_key(dataset: Dataset) -> tuple | None:
+    """Cheap content fingerprint of a CSR dataset (publish-cache key).
+
+    Name and shape alone are not enough -- the same corpus name at a
+    different scale (or a caller-mutated matrix) must republish -- so the
+    key includes CRCs of all three arrays.  The CRC pass is paid on
+    every staging, but it costs about as much as one copy of the data --
+    cheap against what a hit saves (shm create + copy + worker reattach)
+    and trivial against what a miss would otherwise repay per sweep
+    (full pickling of the arrays).
+    """
+    matrix = dataset.matrix
+    if not isinstance(matrix, CsrMatrix):
+        return None
+    return (
+        dataset.name,
+        matrix.num_rows,
+        matrix.num_cols,
+        matrix.nnz,
+        zlib.crc32(np.ascontiguousarray(matrix.row_offsets, dtype=_INT)),
+        zlib.crc32(np.ascontiguousarray(matrix.col_indices, dtype=_INT)),
+        zlib.crc32(np.ascontiguousarray(matrix.values, dtype=_FLT)),
+    )
+
+
+def publish_dataset(dataset: Dataset) -> _PublishedDataset | None:
+    """Copy one dataset's CSR arrays into a shared-memory block.
+
+    Returns ``None`` when the dataset cannot travel this way (non-CSR
+    matrix, shared memory unavailable) -- callers then fall back to
+    pickling the dataset itself.
+    """
+    shared_memory = _shared_memory()
+    matrix = dataset.matrix
+    if shared_memory is None or not isinstance(matrix, CsrMatrix):
+        return None
+    handle = SharedDatasetHandle(
+        shm_name="",  # filled below; the OS picks the unique name
+        dataset_name=dataset.name,
+        family=dataset.family,
+        rows=matrix.num_rows,
+        cols=matrix.num_cols,
+        nnz=matrix.nnz,
+        meta=dict(dataset.meta),
+    )
+    off_cols, off_vals, total = handle._layout()
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    except OSError:
+        return None
+    buf = shm.buf
+    np.ndarray((handle.rows + 1,), dtype=_INT, buffer=buf)[:] = matrix.row_offsets
+    np.ndarray((handle.nnz,), dtype=_INT, buffer=buf, offset=off_cols)[:] = (
+        matrix.col_indices
+    )
+    np.ndarray((handle.nnz,), dtype=_FLT, buffer=buf, offset=off_vals)[:] = (
+        matrix.values
+    )
+    return _PublishedDataset(replace(handle, shm_name=shm.name), shm)
+
+
+def attach_dataset(handle: SharedDatasetHandle) -> tuple[Dataset, object]:
+    """Worker-side reattach: rebuild the Dataset over the shm buffer.
+
+    Returns ``(dataset, shm)``; the caller must release the block with
+    :func:`detach` once the shard's rows are computed.
+    """
+    shared_memory = _shared_memory()
+    assert shared_memory is not None
+    # Pool workers are children of the publisher, so they share its
+    # resource-tracker process: the attach-side register is a set no-op
+    # and exactly one unregister happens at the parent's unlink.  (An
+    # *unrelated* attacher would need bpo-39959's unregister dance; this
+    # transport never crosses that topology.)
+    shm = shared_memory.SharedMemory(name=handle.shm_name)
+    off_cols, off_vals, _ = handle._layout()
+    matrix = CsrMatrix(
+        row_offsets=np.ndarray((handle.rows + 1,), dtype=_INT, buffer=shm.buf),
+        col_indices=np.ndarray(
+            (handle.nnz,), dtype=_INT, buffer=shm.buf, offset=off_cols
+        ),
+        values=np.ndarray(
+            (handle.nnz,), dtype=_FLT, buffer=shm.buf, offset=off_vals
+        ),
+        shape=(handle.rows, handle.cols),
+    )
+    dataset = Dataset(
+        name=handle.dataset_name,
+        family=handle.family,
+        matrix=matrix,
+        meta=dict(handle.meta),
+    )
+    return dataset, shm
+
+
+def detach(shm) -> None:
+    """Close a worker-side attachment, tolerating lingering array views."""
+    try:
+        shm.close()
+    except BufferError:
+        gc.collect()  # drop cycles still holding buffer views
+        try:
+            shm.close()
+        except BufferError:  # released at worker exit instead
+            pass
+
+
+# ----------------------------------------------------------------------
+# Pool worker entry points (module-level: picklable by reference)
+# ----------------------------------------------------------------------
+def _worker_warmup(cache_dir: str | None, store_path: str | None) -> None:
+    """Pool initializer: pay the import + cache-attach cost exactly once."""
+    import numpy  # noqa: F401  (pre-faulted into the worker)
+
+    from .. import apps  # noqa: F401  (registers every app and schedule)
+    from .plan_cache import configure_global_plan_cache
+
+    if store_path is not None:
+        configure_global_plan_cache(store_path=store_path)
+    elif cache_dir is not None:
+        configure_global_plan_cache(cache_dir=cache_dir)
+
+
+#: Worker-side attachment cache: ``shm_name -> (shm, Dataset)``, in LRU
+#: order (oldest first).  Block names are never reused by the OS within a
+#: session, so a cached entry can never alias different content; the
+#: parent keeps a published block alive for at least as long as any task
+#: referencing it is in flight.
+_ATTACHED: OrderedDict[str, tuple] = OrderedDict()
+_ATTACHED_CAP = 128
+
+
+def _attached_dataset(handle: SharedDatasetHandle) -> Dataset:
+    """Reattach (or reuse) one shm-backed dataset in this worker."""
+    cached = _ATTACHED.get(handle.shm_name)
+    if cached is not None:
+        _ATTACHED.move_to_end(handle.shm_name)
+        return cached[1]
+    dataset, shm = attach_dataset(handle)
+    while len(_ATTACHED) >= _ATTACHED_CAP:
+        # Evict least-recently-used, never the entry just fetched.
+        _, (old_shm, old_ds) = _ATTACHED.popitem(last=False)
+        del old_ds  # drop the buffer views before closing
+        detach(old_shm)
+    _ATTACHED[handle.shm_name] = (shm, dataset)
+    return dataset
+
+
+def _run_batch(tasks: tuple) -> list:
+    """Run one batch of shard tasks; one pickle crossing each way."""
+    from ..evaluation.harness import _run_shard
+
+    out = []
+    for task in tasks:
+        if isinstance(task.dataset, SharedDatasetHandle):
+            task = replace(task, dataset=_attached_dataset(task.dataset))
+        out.append(_run_shard(task))
+    return out
+
+
+def _worker_probe(_=None) -> int:
+    """Identify the worker a task landed on (tests, pool introspection)."""
+    return os.getpid()
+
+
+# ----------------------------------------------------------------------
+# The persistent executor
+# ----------------------------------------------------------------------
+class SweepExecutor:
+    """A reusable process pool for per-dataset sweep shards.
+
+    The pool is spawned lazily on the first :meth:`map_shards` and then
+    *kept*: later sweeps -- same app or not -- reuse the warm workers,
+    whose module imports and in-memory plan caches persist.  Width is
+    ``max_workers`` when given, else ``os.cpu_count()`` capped by the
+    sweep's shard count; a sweep wanting a *wider* pool than the current
+    one respawns it at the new high-water width (a one-time warmth loss
+    per growth step), and a pool broken by a crashed worker is respawned
+    on the next sweep instead of failing forever.
+
+    Use as a context manager for scoped pools, or share the module-level
+    :func:`default_executor` across calls (``run_suite(...,
+    keep_pool=True)``).
+    """
+
+    #: Default budget for the publish cache (bytes of live shm blocks).
+    DEFAULT_SHM_CACHE_BYTES = 256 * 1024 * 1024
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        transport: str = "auto",
+        batch_atoms: int | None = None,
+        shm_cache_bytes: int | None = None,
+    ):
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose from {TRANSPORTS}"
+            )
+        self.max_workers = max_workers
+        self.transport = transport
+        self.batch_atoms = batch_atoms
+        self.shm_cache_bytes = (
+            self.DEFAULT_SHM_CACHE_BYTES if shm_cache_bytes is None
+            else shm_cache_bytes
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._width = 0
+        self._lock = threading.Lock()
+        self._shm_lock = threading.Lock()
+        self._published: dict[tuple, _PublishedDataset] = {}
+        self._clock = itertools.count()
+        self.sweeps = 0
+        self.batches = 0
+        self.shards = 0
+        self.pool_spawns = 0
+        self.shm_published = 0
+        self.shm_reused = 0
+
+    # -- pool lifecycle -------------------------------------------------
+    def _ensure_pool(self, num_shards: int) -> ProcessPoolExecutor:
+        with self._lock:
+            want = self.max_workers
+            if want is None:
+                want = min(os.cpu_count() or 1, max(1, num_shards))
+            want = max(1, want)
+            if self._pool is not None:
+                broken = getattr(self._pool, "_broken", False)
+                if not broken and self._width >= want:
+                    return self._pool  # reuse warmth over shrinking
+                # Grow to the new high-water width, or replace a pool a
+                # crashed worker has broken (BrokenProcessPool poisons a
+                # ProcessPoolExecutor permanently; respawning recovers).
+                self._pool.shutdown(wait=not broken)
+                self._pool = None
+            from .plan_cache import global_plan_cache
+
+            cache = global_plan_cache()
+            self._pool = ProcessPoolExecutor(
+                max_workers=want,
+                initializer=_worker_warmup,
+                initargs=(
+                    str(cache.cache_dir) if cache.cache_dir else None,
+                    str(cache.store_path) if cache.store_path else None,
+                ),
+            )
+            self._width = want
+            self.pool_spawns += 1
+            return self._pool
+
+    @property
+    def alive(self) -> bool:
+        return self._pool is not None
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def worker_pids(self) -> set[int]:
+        """PIDs of the live worker processes (pool-persistence probes)."""
+        pool = self._ensure_pool(self._width or 1)
+        processes = getattr(pool, "_processes", None)
+        if processes:  # stdlib-internal but stable; exact and instant
+            return set(processes)
+        return set(pool.map(_worker_probe, range(self._width * 4)))
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=wait)
+                self._pool = None
+                self._width = 0
+        with self._shm_lock:
+            for entry in self._published.values():
+                entry.unlink()
+            self._published.clear()
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- batching & transport -------------------------------------------
+    @staticmethod
+    def _payload_atoms(task) -> int:
+        dataset = task.dataset
+        if isinstance(dataset, SharedDatasetHandle):
+            return max(1, dataset.nnz + dataset.rows)
+        matrix = getattr(dataset, "matrix", None)
+        if matrix is None:
+            return 1
+        return max(1, int(matrix.nnz) + int(matrix.num_rows))
+
+    #: Per-dataset fixed cost expressed in atom equivalents: at smoke
+    #: scale a cell's Python overhead (context, policy, fingerprints)
+    #: dwarfs its arithmetic, so weight-balancing on raw atoms alone
+    #: would pack many tiny datasets into one straggler batch.
+    _BATCH_BASE_WEIGHT = 2000
+
+    def _batch(self, tasks: list, width: int) -> list[tuple]:
+        """Split shards into contiguous weight-balanced batches.
+
+        ~2 batches per worker, boundaries at equal quantiles of the
+        cumulative weight (atoms plus a fixed per-dataset overhead) --
+        the merge-path idea, one level up: batches are the processors,
+        datasets the tiles.  ``batch_atoms`` overrides with a greedy
+        atom budget per batch.
+        """
+        if self.batch_atoms is not None:
+            batches: list[tuple] = []
+            cur: list = []
+            cur_atoms = 0
+            for task in tasks:
+                cur.append(task)
+                cur_atoms += self._payload_atoms(task)
+                if cur_atoms >= self.batch_atoms:
+                    batches.append(tuple(cur))
+                    cur, cur_atoms = [], 0
+            if cur:
+                batches.append(tuple(cur))
+            return batches
+        weights = np.array(
+            [self._payload_atoms(t) + self._BATCH_BASE_WEIGHT for t in tasks],
+            dtype=np.float64,
+        )
+        num_batches = min(len(tasks), max(1, 2 * width))
+        cum = np.cumsum(weights)
+        quantiles = cum[-1] * np.arange(1, num_batches) / num_batches
+        bounds = [0, *np.searchsorted(cum, quantiles, side="left"), len(tasks)]
+        return [
+            tuple(tasks[lo:hi])
+            for lo, hi in zip(bounds, bounds[1:])
+            if hi > lo
+        ]
+
+    def _stage(self, tasks: list, transport: str) -> tuple[list, list]:
+        """Swap dataset payloads for shm handles where the transport allows.
+
+        Publishing goes through the executor's content-keyed cache:
+        repeated sweeps of the same corpus pin the already-published
+        blocks instead of copying again.  Returns ``(staged_tasks,
+        pinned_entries)``; the caller unpins after the sweep.
+        """
+        if transport == "pickle":
+            return list(tasks), []
+        staged = []
+        pinned: list[_PublishedDataset] = []
+        try:
+            with self._shm_lock:
+                for task in tasks:
+                    key = dataset_content_key(task.dataset)
+                    entry = None if key is None else self._published.get(key)
+                    if entry is None:
+                        pub = None if key is None else publish_dataset(task.dataset)
+                        if pub is None:
+                            if transport == "shm":
+                                raise ValueError(
+                                    f"dataset {task.dataset.name!r} cannot "
+                                    f"travel over shared memory "
+                                    f"(transport='shm'); use 'auto' to fall "
+                                    f"back to pickling"
+                                )
+                            staged.append(task)
+                            continue
+                        entry = pub
+                        self._published[key] = entry
+                        self.shm_published += 1
+                    else:
+                        self.shm_reused += 1
+                    entry.pins += 1
+                    entry.tick = next(self._clock)
+                    pinned.append(entry)
+                    staged.append(replace(task, dataset=entry.handle))
+        except Exception:
+            self._unpin(pinned)
+            raise
+        return staged, pinned
+
+    def _unpin(self, pinned: list) -> None:
+        """Release sweep pins, then evict cold blocks over the byte budget."""
+        with self._shm_lock:
+            for entry in pinned:
+                entry.pins -= 1
+            total = sum(e.nbytes for e in self._published.values())
+            if total <= self.shm_cache_bytes:
+                return
+            for key, entry in sorted(
+                self._published.items(), key=lambda kv: kv[1].tick
+            ):
+                if total <= self.shm_cache_bytes:
+                    break
+                if entry.pins > 0:
+                    continue
+                entry.unlink()
+                del self._published[key]
+                total -= entry.nbytes
+
+    # -- execution ------------------------------------------------------
+    def map_shards(self, tasks, *, transport: str | None = None) -> list[list]:
+        """Run every shard task; return per-shard row lists in order.
+
+        Equivalent to ``[ _run_shard(t) for t in tasks ]`` but fanned out
+        over the (persistent) pool, with batching and the configured
+        dataset transport.  Exceptions raised inside a worker propagate.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        transport = self.transport if transport is None else transport
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose from {TRANSPORTS}"
+            )
+        pool = self._ensure_pool(len(tasks))
+        staged, pinned = self._stage(tasks, transport)
+        batches = self._batch(staged, self._width)
+        try:
+            per_batch = list(pool.map(_run_batch, batches))
+        finally:
+            self._unpin(pinned)
+        self.sweeps += 1
+        self.batches += len(batches)
+        self.shards += len(tasks)
+        return [shard_rows for batch in per_batch for shard_rows in batch]
+
+    def info(self) -> dict:
+        with self._shm_lock:
+            shm_cached = len(self._published)
+            shm_cached_bytes = sum(e.nbytes for e in self._published.values())
+        return {
+            "alive": self.alive,
+            "width": self._width,
+            "transport": self.transport,
+            "sweeps": self.sweeps,
+            "batches": self.batches,
+            "shards": self.shards,
+            "pool_spawns": self.pool_spawns,
+            "shm_published": self.shm_published,
+            "shm_reused": self.shm_reused,
+            "shm_cached": shm_cached,
+            "shm_cached_bytes": shm_cached_bytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"width={self._width}" if self.alive else "idle"
+        return f"SweepExecutor({state}, sweeps={self.sweeps})"
+
+
+# ----------------------------------------------------------------------
+# Module-level default: one warm pool per process, shared by every
+# ``run_suite(..., keep_pool=True)`` call site.
+# ----------------------------------------------------------------------
+_DEFAULT: SweepExecutor | None = None
+_DEFAULT_LOCK = threading.Lock()
+_ATEXIT_REGISTERED = False
+
+
+def default_executor(max_workers: int | None = None) -> SweepExecutor:
+    """The process-wide persistent :class:`SweepExecutor`.
+
+    Created lazily on first use and shut down at interpreter exit, or
+    explicitly via :func:`shutdown_default_executor`.  An explicit
+    ``max_workers`` raises the shared pool's width (the pool grows on
+    the next sweep); it never shrinks a warm pool.
+    """
+    global _DEFAULT, _ATEXIT_REGISTERED
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = SweepExecutor(max_workers=max_workers)
+            if not _ATEXIT_REGISTERED:
+                atexit.register(shutdown_default_executor)
+                _ATEXIT_REGISTERED = True
+        elif max_workers is not None and (
+            _DEFAULT.max_workers is None or max_workers > _DEFAULT.max_workers
+        ):
+            _DEFAULT.max_workers = max_workers
+        return _DEFAULT
+
+
+def shutdown_default_executor() -> None:
+    """Tear down the shared pool (tests; long-lived host processes)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is not None:
+            _DEFAULT.shutdown()
+            _DEFAULT = None

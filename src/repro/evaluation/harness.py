@@ -19,20 +19,37 @@ are exposed by the CLI (``python -m repro sweep ...``) as well:
 ``executor`` (CLI ``--executor {serial,thread,process}``)
     How independent cells fan out.  ``thread`` shares one address space
     (cheap, but pure-Python sections contend on the GIL); ``process``
-    runs one worker *process* per dataset shard -- each shard builds its
+    runs dataset shards on a worker pool -- each shard builds its
     problem and oracle exactly once and runs every kernel of the cell
-    against them, so construction cost is amortized and never crosses a
-    pickle boundary per cell.  ``serial`` forces the in-process loop.
+    against them, small shards are *batched* into one pickle crossing,
+    and CSR payloads travel through shared memory instead of the pickle
+    stream (:mod:`repro.engine.worker_pool`).  ``serial`` forces the
+    in-process loop.
+``keep_pool`` / ``pool`` (CLI ``--keep-pool``)
+    Process-pool persistence.  By default each ``run_suite`` call spawns
+    and tears down its own pool; ``keep_pool=True`` routes the sweep
+    through the module-wide persistent
+    :func:`~repro.engine.worker_pool.default_executor`, so repeated
+    sweeps (any app) reuse warm workers -- imports paid once, worker
+    plan caches kept hot.  Pass ``pool=SweepExecutor(...)`` to manage
+    the lifetime yourself (context manager).
+``transport`` (``{auto,shm,pickle}``)
+    How dataset payloads reach process-pool workers: ``auto`` publishes
+    CSR arrays once via shared memory and reattaches them zero-copy in
+    workers, falling back to pickling for non-CSR problems; ``pickle``
+    forces the fallback; ``shm`` errors instead of falling back.
 ``max_workers`` (CLI ``--workers``)
     Pool width for either executor.  ``None``/1 with
     ``executor="thread"`` degrades to serial; ``process`` defaults to
     ``os.cpu_count()`` capped by the number of dataset shards.
-``plan_cache_dir`` (CLI ``--plan-cache-dir``)
-    Directory for the persistent plan cache
-    (:mod:`repro.engine.plan_cache`).  Repeated sweeps of the same grid
-    -- and every process-pool worker -- start warm: plans are keyed by
-    content fingerprints and survive process exit.  Workers inherit the
-    directory automatically.
+``plan_cache_dir`` / ``plan_store`` (CLI ``--plan-cache-dir`` / ``--plan-store``)
+    Persistent plan storage (:mod:`repro.engine.plan_cache`).  Repeated
+    sweeps of the same grid -- and every process-pool worker -- start
+    warm: plans are keyed by content fingerprints and survive process
+    exit.  ``plan_cache_dir`` is the one-file-per-plan layout;
+    ``plan_store`` is the corpus-scale append-only single-file journal
+    (:mod:`repro.engine.plan_store`).  Workers inherit either knob
+    automatically.
 
 Results are returned in deterministic (dataset, kernel) order regardless
 of executor or worker count, and row sets are identical across all three
@@ -42,8 +59,7 @@ executors for the same seed.
 from __future__ import annotations
 
 import csv
-import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -281,10 +297,18 @@ class _ShardTask:
 def _run_shard(task: _ShardTask) -> list[SweepRow]:
     """Process-pool worker: run every kernel of one (app, dataset) shard."""
     ctx = task.context()
-    if ctx.plan_cache_dir is not None:
-        # Warm-start the worker from the persistent plan cache (and
+    if ctx.plan_store is not None:
+        # Warm-start the worker from the persistent plan store (and
         # persist whatever it plans for the next process).
+        configure_global_plan_cache(store_path=ctx.plan_store)
+    elif ctx.plan_cache_dir is not None:
         configure_global_plan_cache(ctx.plan_cache_dir)
+    else:
+        # No knob on this sweep: a *persistent* worker must not keep the
+        # previous sweep's (possibly temporary) target attached.  Fall
+        # back to the environment attachment -- the documented ambient
+        # configuration workers share with their parent -- or detach.
+        _restore_ambient_plan_persistence()
     app_spec = get_app(task.app)
     problem = _build_problem(app_spec, task.app, task.dataset, task.seed)
     expected = (
@@ -308,6 +332,30 @@ def _run_shard(task: _ShardTask) -> list[SweepRow]:
     ]
 
 
+def _restore_ambient_plan_persistence() -> None:
+    """Point the process-global plan cache back at the env-var target.
+
+    Reattaching an unchanged target is a no-op, so calling this per shard
+    is free; an unusable env path degrades to "no persistence", honouring
+    the disk layer's never-change-behaviour contract.
+    """
+    import os
+
+    from ..engine import CACHE_DIR_ENV, PLAN_STORE_ENV
+
+    store_env = os.environ.get(PLAN_STORE_ENV) or None
+    dir_env = os.environ.get(CACHE_DIR_ENV) or None
+    try:
+        if store_env is not None:
+            configure_global_plan_cache(store_path=store_env)
+        elif dir_env is not None:
+            configure_global_plan_cache(dir_env)
+        else:
+            configure_global_plan_cache(None)
+    except Exception:
+        configure_global_plan_cache(None)
+
+
 def run_suite(
     kernels: Sequence[str],
     *,
@@ -322,57 +370,76 @@ def run_suite(
     max_workers: int | None = None,
     executor: str = "thread",
     plan_cache_dir: str | Path | None = None,
+    plan_store: str | Path | None = None,
     ctx: ExecutionContext | None = None,
+    keep_pool: bool = False,
+    pool=None,
+    transport: str = "auto",
 ) -> list[SweepRow]:
     """Run a kernel list over the corpus (the ``run.sh`` loop), generic.
 
     ``ctx`` is the single execution-selection argument (engine, device
-    spec, plan-cache directory, device count); the per-cell kernel name
-    supplies the schedule policy.  The loose ``spec=``/``engine=``/
-    ``plan_cache_dir=`` kwargs are the deprecated pre-context spelling;
-    passing them alongside ``ctx`` is an error.  The context is what
-    crosses the process-pool pickle boundary in ``executor="process"``
-    sweeps.
+    spec, plan storage, device count); the per-cell kernel name supplies
+    the schedule policy.  The loose ``spec=``/``engine=``/
+    ``plan_cache_dir=``/``plan_store=`` kwargs are the deprecated
+    pre-context spelling; passing them alongside ``ctx`` is an error.
+    The context is what crosses the process-pool pickle boundary in
+    ``executor="process"`` sweeps.
 
     Datasets the app cannot accept (e.g. rectangular matrices for graph
-    apps) are skipped.  Fan-out, worker count and plan-cache persistence
-    are controlled by the performance knobs documented in the module
-    docstring (``executor`` / ``max_workers`` / ``plan_cache_dir``);
-    results keep the serial (dataset, kernel) order under every
-    configuration.
+    apps) are skipped.  Fan-out, pool persistence, dataset transport and
+    plan persistence are controlled by the performance knobs documented
+    in the module docstring (``executor`` / ``keep_pool`` / ``pool`` /
+    ``transport`` / ``max_workers`` / ``plan_cache_dir`` /
+    ``plan_store``); results keep the serial (dataset, kernel) order
+    under every configuration.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+    if (keep_pool or pool is not None) and executor != "process":
+        raise ValueError(
+            "keep_pool/pool require executor='process' (persistent pools "
+            "only make sense for process fan-out)"
+        )
+    if keep_pool and pool is not None:
+        raise ValueError("pass either keep_pool=True or pool=, not both")
     ctx = ExecutionContext.from_kwargs(
         ctx=ctx,
         engine=engine,
         spec=spec,
         plan_cache_dir=None if plan_cache_dir is None else str(plan_cache_dir),
+        plan_store=None if plan_store is None else str(plan_store),
     )
     app_spec = get_app(app)
     ds = list(datasets) if datasets is not None else build_corpus(scale, limit=limit)
     if app_spec.accepts is not None:
         ds = [d for d in ds if app_spec.accepts(d.matrix)]
-    cache_dir = ctx.plan_cache_dir
-    if cache_dir is None:
+    if ctx.plan_cache_dir is None and ctx.plan_store is None:
         return _run_suite_prepared(
             kernels, app, app_spec, ds, ctx, seed, validate,
-            max_workers, executor,
+            max_workers, executor, keep_pool, pool, transport,
         )
     # Attach the persistent layer for the duration of the sweep only:
     # callers must not find the process-global cache silently re-pointed
-    # at a (possibly temporary) directory after run_suite returns.
+    # at a (possibly temporary) target after run_suite returns.
     from ..engine import global_plan_cache
 
-    previous = global_plan_cache().cache_dir
-    configure_global_plan_cache(cache_dir)
+    cache = global_plan_cache()
+    prev_dir, prev_store = cache.cache_dir, cache.store_path
+    if ctx.plan_store is not None:
+        configure_global_plan_cache(store_path=ctx.plan_store)
+    else:
+        configure_global_plan_cache(ctx.plan_cache_dir)
     try:
         return _run_suite_prepared(
             kernels, app, app_spec, ds, ctx, seed, validate,
-            max_workers, executor,
+            max_workers, executor, keep_pool, pool, transport,
         )
     finally:
-        configure_global_plan_cache(previous)
+        if prev_store is not None:
+            configure_global_plan_cache(store_path=prev_store)
+        else:
+            configure_global_plan_cache(prev_dir)
 
 
 def _run_suite_prepared(
@@ -385,9 +452,14 @@ def _run_suite_prepared(
     validate: bool,
     max_workers: int | None,
     executor: str,
+    keep_pool: bool = False,
+    pool=None,
+    transport: str = "auto",
 ) -> list[SweepRow]:
     """The executor dispatch behind :func:`run_suite` (cache configured)."""
     if executor == "process" and ds:
+        from ..engine.worker_pool import SweepExecutor, default_executor
+
         shards = [
             _ShardTask(
                 app=app,
@@ -399,10 +471,15 @@ def _run_suite_prepared(
             )
             for dataset in ds
         ]
-        workers = max_workers if max_workers is not None else os.cpu_count() or 1
-        workers = max(1, min(workers, len(shards)))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            per_shard = list(pool.map(_run_shard, shards))
+        if pool is not None:
+            per_shard = pool.map_shards(shards, transport=transport)
+        elif keep_pool:
+            per_shard = default_executor(max_workers).map_shards(
+                shards, transport=transport
+            )
+        else:
+            with SweepExecutor(max_workers=max_workers) as ephemeral:
+                per_shard = ephemeral.map_shards(shards, transport=transport)
         return [row for shard_rows in per_shard for row in shard_rows]
 
     # Problem construction and the oracle are per-dataset, not per-cell:

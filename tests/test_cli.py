@@ -88,6 +88,47 @@ class TestSweepCommand:
         assert len(rows) == 2
         assert rows[0]["app"] == "histogram"
 
+    def test_plan_store_knob(self, tmp_path):
+        store = tmp_path / "plans.journal"
+        code, out = run_cli(
+            "sweep", "--kernels", "merge_path", "--scale", "smoke",
+            "--limit", "2", "--plan-store", str(store),
+        )
+        assert code == 0
+        assert store.is_file()  # one journal, no plan-*.pkl directory
+        assert not list(tmp_path.glob("plan-*.pkl"))
+
+    def test_plan_store_and_cache_dir_conflict(self, tmp_path, capsys):
+        code, _ = run_cli(
+            "sweep", "--kernels", "merge_path", "--scale", "smoke",
+            "--limit", "1", "--plan-store", str(tmp_path / "s"),
+            "--plan-cache-dir", str(tmp_path / "d"),
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_keep_pool_requires_process_executor(self, capsys):
+        code, _ = run_cli(
+            "sweep", "--kernels", "merge_path", "--scale", "smoke",
+            "--limit", "1", "--keep-pool",
+        )
+        assert code == 2
+        assert "--executor process" in capsys.readouterr().err
+
+    def test_keep_pool_sweep(self):
+        from repro.engine import shutdown_default_executor
+
+        try:
+            code, out = run_cli(
+                "sweep", "--kernels", "merge_path", "--scale", "smoke",
+                "--limit", "2", "--executor", "process", "--workers", "2",
+                "--keep-pool",
+            )
+            assert code == 0
+            assert len(out.strip().splitlines()) == 3  # header + 2 rows
+        finally:
+            shutdown_default_executor()
+
     def test_parallel_workers(self):
         code, out = run_cli(
             "sweep", "--kernels", "merge_path", "--scale", "smoke",

@@ -67,6 +67,17 @@ class TestConstruction:
         with pytest.raises(ValueError, match="multi_gpu"):
             ExecutionContext(engine="simt", gpus=2)
 
+    def test_plan_store_coerced_to_str(self, tmp_path):
+        ctx = ExecutionContext(plan_store=tmp_path / "plans.journal")
+        assert ctx.plan_store == str(tmp_path / "plans.journal")
+
+    def test_plan_store_and_cache_dir_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            ExecutionContext(
+                plan_cache_dir=str(tmp_path / "d"),
+                plan_store=str(tmp_path / "s.journal"),
+            )
+
     def test_replace_and_with_helpers(self):
         ctx = ExecutionContext()
         assert ctx.with_policy("lrb").policy == FixedPolicy("lrb")
@@ -87,6 +98,10 @@ class TestPickling:
         clone = pickle.loads(pickle.dumps(ctx))
         assert clone == ctx
         assert clone.policy == ctx.policy
+
+    def test_plan_store_round_trips(self):
+        ctx = ExecutionContext(plan_store="/tmp/plans.journal")
+        assert pickle.loads(pickle.dumps(ctx)).plan_store == "/tmp/plans.journal"
 
 
 class TestFromKwargs:

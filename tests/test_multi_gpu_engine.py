@@ -138,6 +138,40 @@ class TestMultiGpuEngine:
             naive.stats.extras["device_imbalance"] + 1e-9
         )
 
+    def test_schedule_options_thread_through_to_shards(self):
+        """Caller schedule options must shape the per-device re-planning
+        (the ROADMAP follow-up: they used to be silently dropped)."""
+        app, problem = self._spmv_parts()
+        opts = {"group_size": 4}
+        single = run_app(
+            app, problem,
+            ctx=ExecutionContext(spec=V100, policy="group_mapped",
+                                 schedule_options=opts),
+        )
+        multi = run_app(
+            app, problem,
+            ctx=ExecutionContext(spec=V100, gpus=2, policy="group_mapped",
+                                 schedule_options=opts),
+        )
+        # Parity: options-bearing multi-GPU output matches single-GPU.
+        assert np.array_equal(single.output, multi.output)
+        # And the options demonstrably reached the shard schedules: a
+        # different group size prices the same shards differently.
+        other = run_app(
+            app, problem,
+            ctx=ExecutionContext(spec=V100, gpus=2, policy="group_mapped",
+                                 schedule_options={"group_size": 32}),
+        )
+        assert (multi.stats.extras["device_elapsed_ms"]
+                != other.stats.extras["device_elapsed_ms"])
+
+    def test_construction_options_recorded_by_make_schedule(self):
+        work = WorkSpec.from_counts([4, 1, 7, 2])
+        sched = make_schedule("group_mapped", work, TINY_GPU, group_size=4)
+        assert sched.construction_options == {"group_size": 4}
+        plain = make_schedule("merge_path", work, TINY_GPU)
+        assert plain.construction_options == {}
+
     def test_plan_cache_used_for_shards(self):
         app, problem = self._spmv_parts()
         cache = PlanCache()

@@ -39,6 +39,37 @@ class TestExecutorEquivalence:
         assert _key(serial) == _key(thread) == _key(process)
         assert len(serial) == 4 * len(KERNELS)
 
+    def test_every_execution_path_returns_identical_rows(self):
+        """The acceptance matrix: serial / thread / fresh-process /
+        persistent-pool / shared-memory / pickle-transport sweeps of the
+        same seeded grid produce identical SweepRows."""
+        from repro.engine import SweepExecutor
+
+        kwargs = dict(scale="smoke", limit=4, seed=11)
+        paths = {
+            "serial": run_suite(KERNELS, executor="serial", **kwargs),
+            "thread": run_suite(KERNELS, executor="thread", max_workers=4,
+                                **kwargs),
+            "fresh_process": run_suite(KERNELS, executor="process",
+                                       max_workers=2, **kwargs),
+            "pickle_transport": run_suite(KERNELS, executor="process",
+                                          max_workers=2, transport="pickle",
+                                          **kwargs),
+            "shared_memory": run_suite(KERNELS, executor="process",
+                                       max_workers=2, transport="shm",
+                                       **kwargs),
+        }
+        with SweepExecutor(max_workers=2) as pool:
+            paths["persistent_pool"] = run_suite(
+                KERNELS, executor="process", pool=pool, **kwargs
+            )
+            paths["persistent_pool_again"] = run_suite(
+                KERNELS, executor="process", pool=pool, **kwargs
+            )
+        reference = _key(paths["serial"])
+        for name, rows in paths.items():
+            assert _key(rows) == reference, f"{name} diverged from serial"
+
     def test_process_executor_non_spmv_app(self):
         rows = run_suite(
             ["thread_mapped", "group_mapped"],
@@ -127,6 +158,34 @@ class TestSharding:
         clone = pickle.loads(pickle.dumps(task))
         assert clone.dataset.name == ds.name
         assert _key(_run_shard(clone)) == _key(_run_shard(task))
+
+    def test_shard_configures_worker_plan_store(self, tmp_path):
+        """A ctx carrying plan_store attaches the journal in the worker."""
+        from repro.engine import (
+            ExecutionContext,
+            clear_plan_cache,
+            configure_global_plan_cache,
+            global_plan_cache,
+        )
+
+        ds = load_dataset("tiny_diag_32", "smoke")
+        store_path = tmp_path / "plans.journal"
+        task = _ShardTask(
+            app="spmv",
+            kernels=("merge_path",),
+            dataset=ds,
+            seed=0,
+            validate=False,
+            ctx=ExecutionContext(plan_store=str(store_path)),
+        )
+        try:
+            clear_plan_cache()
+            _run_shard(task)
+            assert global_plan_cache().store_path == store_path
+            assert store_path.is_file()
+            assert len(global_plan_cache().store) > 0
+        finally:
+            configure_global_plan_cache(None)
 
     def test_shard_configures_worker_plan_cache(self, tmp_path):
         from repro.engine import (

@@ -1,0 +1,250 @@
+"""Tests for the persistent sweep executor and shared-memory transport.
+
+The contract: a :class:`SweepExecutor` survives across ``run_suite``
+calls and across apps (same worker processes, warm plan caches), shard
+batching and the shared-memory dataset transport are invisible in the
+results (identical row sets vs serial), and every knob degrades cleanly
+(pickle fallback, empty grids, misuse errors).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import SweepExecutor, default_executor, shutdown_default_executor
+from repro.engine.worker_pool import (
+    TRANSPORTS,
+    SharedDatasetHandle,
+    attach_dataset,
+    detach,
+    publish_dataset,
+)
+from repro.evaluation.harness import _ShardTask, run_suite
+from repro.sparse.corpus import load_dataset
+
+KERNELS = ["merge_path", "thread_mapped"]
+
+
+def _kill_worker(_):
+    """Simulate a worker crash (module-level: picklable by reference)."""
+    import os
+
+    os._exit(1)
+
+
+def _key(rows):
+    return [(r.app, r.kernel, r.dataset, r.rows, r.cols, r.nnzs, r.elapsed)
+            for r in rows]
+
+
+@pytest.fixture(scope="module")
+def serial_rows():
+    return run_suite(KERNELS, scale="smoke", limit=5, executor="serial")
+
+
+class TestSharedMemoryTransport:
+    def test_publish_attach_round_trip(self):
+        ds = load_dataset("tiny_power_256", "smoke")
+        pub = publish_dataset(ds)
+        assert pub is not None
+        try:
+            assert isinstance(pub.handle, SharedDatasetHandle)
+            clone, shm = attach_dataset(pub.handle)
+            try:
+                assert clone.name == ds.name and clone.family == ds.family
+                assert clone.matrix == ds.matrix  # array-equal CSR
+            finally:
+                del clone
+                detach(shm)
+        finally:
+            pub.unlink()
+
+    def test_non_csr_payload_falls_back_to_pickle(self):
+        class NotCsr:
+            pass
+
+        from dataclasses import replace
+
+        ds = replace(load_dataset("tiny_diag_32", "smoke"), matrix=NotCsr())
+        assert publish_dataset(ds) is None
+
+    def test_shm_rows_equal_pickle_rows(self, serial_rows):
+        shm = run_suite(KERNELS, scale="smoke", limit=5, executor="process",
+                        max_workers=2, transport="shm")
+        pickled = run_suite(KERNELS, scale="smoke", limit=5, executor="process",
+                            max_workers=2, transport="pickle")
+        assert _key(shm) == _key(pickled) == _key(serial_rows)
+
+    def test_unknown_transport_rejected(self):
+        assert TRANSPORTS == ("auto", "shm", "pickle")
+        with pytest.raises(ValueError, match="unknown transport"):
+            SweepExecutor(transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="unknown transport"):
+            SweepExecutor().map_shards(
+                [_ShardTask(app="spmv", kernels=("merge_path",),
+                            dataset=load_dataset("tiny_diag_32", "smoke"))],
+                transport="telepathy",
+            )
+
+
+class TestSweepExecutor:
+    def test_pool_persists_across_sweeps_and_apps(self, serial_rows):
+        with SweepExecutor(max_workers=2) as pool:
+            first = run_suite(KERNELS, scale="smoke", limit=5,
+                              executor="process", pool=pool)
+            pids_after_first = pool.worker_pids()
+            second = run_suite(KERNELS, scale="smoke", limit=5,
+                               executor="process", pool=pool)
+            other_app = run_suite(["thread_mapped"], app="histogram",
+                                  scale="smoke", limit=3,
+                                  executor="process", pool=pool)
+            pids_after_third = pool.worker_pids()
+
+            assert _key(first) == _key(second) == _key(serial_rows)
+            assert len(other_app) == 3
+            # Same worker processes served all three sweeps: the pool was
+            # spawned once and kept.
+            assert pool.pool_spawns == 1
+            assert pids_after_first == pids_after_third
+            assert pool.sweeps == 3
+        assert not pool.alive  # context exit tears the pool down
+
+    def test_lazy_spawn(self):
+        pool = SweepExecutor(max_workers=1)
+        assert not pool.alive
+        assert pool.map_shards([]) == []
+        assert not pool.alive  # empty work never spawns
+        pool.shutdown()
+
+    def test_batching_preserves_shard_order(self, serial_rows):
+        # One batch per crossing: force everything through a single batch
+        # and through many batches; both must match serial ordering.
+        for batch_atoms in (1, 10**9):
+            with SweepExecutor(max_workers=2, batch_atoms=batch_atoms) as pool:
+                rows = run_suite(KERNELS, scale="smoke", limit=5,
+                                 executor="process", pool=pool)
+                assert _key(rows) == _key(serial_rows)
+
+    def test_batches_fewer_crossings_than_shards(self):
+        tasks = [
+            _ShardTask(app="spmv", kernels=("merge_path",),
+                       dataset=load_dataset(name, "smoke"))
+            for name in ["tiny_diag_32", "tiny_uniform_64", "tiny_band_128",
+                         "tiny_power_256", "tiny_poisson_512"]
+        ]
+        with SweepExecutor(max_workers=2) as pool:
+            per_shard = pool.map_shards(tasks)
+            assert len(per_shard) == len(tasks)
+            assert [rows[0].dataset for rows in per_shard] == [
+                t.dataset.name for t in tasks
+            ]
+            # Small datasets shared crossings: strictly fewer batches
+            # than shards (the whole point of batching).
+            assert 0 < pool.batches < len(tasks)
+
+    def test_broken_pool_respawns_on_next_sweep(self, serial_rows):
+        """A crashed worker poisons a ProcessPoolExecutor forever; the
+        executor must replace it instead of failing every later sweep."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        with SweepExecutor(max_workers=1) as pool:
+            first = run_suite(KERNELS, scale="smoke", limit=5,
+                              executor="process", pool=pool)
+            with pytest.raises(BrokenProcessPool):
+                list(pool._pool.map(_kill_worker, [0]))
+            recovered = run_suite(KERNELS, scale="smoke", limit=5,
+                                  executor="process", pool=pool)
+            assert _key(first) == _key(recovered) == _key(serial_rows)
+            assert pool.pool_spawns == 2  # one respawn, not one per sweep
+
+    def test_pool_grows_to_new_high_water_width(self):
+        tasks = [
+            _ShardTask(app="spmv", kernels=("merge_path",),
+                       dataset=load_dataset("tiny_diag_32", "smoke")),
+            _ShardTask(app="spmv", kernels=("merge_path",),
+                       dataset=load_dataset("tiny_uniform_64", "smoke")),
+        ]
+        with SweepExecutor(max_workers=1) as pool:
+            pool.map_shards(tasks)
+            assert pool.width == 1
+            pool.max_workers = 2  # what default_executor(max_workers=2) does
+            pool.map_shards(tasks)
+            assert pool.width == 2 and pool.pool_spawns == 2
+            pool.max_workers = 1  # never shrinks a warm pool
+            pool.map_shards(tasks)
+            assert pool.width == 2 and pool.pool_spawns == 2
+
+    def test_worker_exceptions_propagate(self):
+        with SweepExecutor(max_workers=1) as pool:
+            bad = _ShardTask(app="no-such-app", kernels=("merge_path",),
+                             dataset=load_dataset("tiny_diag_32", "smoke"))
+            with pytest.raises(KeyError, match="no-such-app"):
+                pool.map_shards(bad for _ in range(1))
+
+
+class TestDefaultExecutor:
+    def test_keep_pool_reuses_module_default(self, serial_rows):
+        shutdown_default_executor()
+        try:
+            a = run_suite(KERNELS, scale="smoke", limit=5,
+                          executor="process", keep_pool=True, max_workers=2)
+            b = run_suite(KERNELS, scale="smoke", limit=5,
+                          executor="process", keep_pool=True)
+            assert _key(a) == _key(b) == _key(serial_rows)
+            pool = default_executor()
+            assert pool.pool_spawns == 1 and pool.sweeps == 2
+        finally:
+            shutdown_default_executor()
+
+    def test_default_executor_is_a_singleton(self):
+        shutdown_default_executor()
+        try:
+            assert default_executor() is default_executor()
+        finally:
+            shutdown_default_executor()
+
+    def test_shutdown_forgets_the_singleton(self):
+        first = default_executor()
+        shutdown_default_executor()
+        assert default_executor() is not first
+        shutdown_default_executor()
+
+
+class TestWorkerPersistenceScoping:
+    def test_knobless_sweep_detaches_previous_sweep_target(self, tmp_path):
+        """A persistent worker must not keep writing plans to the
+        previous sweep's (possibly temporary) cache directory once a
+        later sweep carries no persistence knob."""
+        from repro.engine import clear_plan_cache
+
+        cache_dir = tmp_path / "plans"
+        # Forked workers inherit the parent's in-memory plan cache;
+        # start it cold so the first sweep demonstrably writes to disk.
+        clear_plan_cache()
+        with SweepExecutor(max_workers=1) as pool:
+            run_suite(["merge_path"], scale="smoke", limit=3,
+                      executor="process", pool=pool, plan_cache_dir=cache_dir)
+            files_after_first = set(cache_dir.glob("plan-*.pkl"))
+            assert files_after_first  # the first sweep did persist here
+            # Different kernel => different plans; no knob => the worker
+            # must fall back to ambient (here: none), not the old dir.
+            run_suite(["lrb"], scale="smoke", limit=3,
+                      executor="process", pool=pool)
+            assert set(cache_dir.glob("plan-*.pkl")) == files_after_first
+
+
+class TestMisuse:
+    def test_keep_pool_requires_process_executor(self):
+        with pytest.raises(ValueError, match="process"):
+            run_suite(KERNELS, scale="smoke", limit=1, executor="thread",
+                      keep_pool=True)
+
+    def test_pool_requires_process_executor(self):
+        with pytest.raises(ValueError, match="process"):
+            run_suite(KERNELS, scale="smoke", limit=1, executor="serial",
+                      pool=SweepExecutor())
+
+    def test_keep_pool_and_pool_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_suite(KERNELS, scale="smoke", limit=1, executor="process",
+                      keep_pool=True, pool=SweepExecutor())
