@@ -13,6 +13,12 @@ throughput trajectory to regress against:
   :class:`~repro.engine.worker_pool.SweepExecutor`: first sweep pays the
   one-time spawn, later sweeps run against warm workers (warm is the
   best of three, to damp scheduler jitter);
+* ``steady_state_first`` / ``steady_state_warm`` -- the worker-resident
+  problem/oracle cache on a single-worker persistent pool: the first
+  sweep builds every dataset's problem and oracle, the warm sweeps
+  serve both from the in-worker :class:`~repro.engine.worker_pool.
+  ProblemCache` (hit/miss proven by the per-row counters, one worker so
+  the cache placement is deterministic);
 * ``fresh_process_cold`` / ``fresh_process_warm`` -- a subprocess
   sweeping the grid against the per-file plan-cache directory;
 * ``store_fresh_cold`` / ``store_fresh_warm`` -- the same two
@@ -116,6 +122,22 @@ def test_sweep_throughput(tmp_path):
             pool_info = pool.info()
         pool_warm_s = min(warm_times)
 
+        # -- Steady state: a second sweep on the same warm pool serves
+        # every shard's problem *and* oracle from the worker-resident
+        # cache (validate=True, so the oracle is real work skipped).
+        # One worker keeps the batch->worker placement deterministic. --
+        with SweepExecutor(max_workers=1) as ss_pool:
+            ss_first_s, ss_first_rows = _timed_sweep(
+                executor="process", pool=ss_pool, plan_cache_dir=cache_dir
+            )
+            ss_times = []
+            for _ in range(3):
+                t, ss_warm_rows = _timed_sweep(
+                    executor="process", pool=ss_pool, plan_cache_dir=cache_dir
+                )
+                ss_times.append(t)
+        ss_warm_s = min(ss_times)
+
         from repro.engine import global_plan_cache
 
         in_process_info = global_plan_cache().info()
@@ -139,6 +161,21 @@ def test_sweep_throughput(tmp_path):
     # slack absorbs scheduler jitter at millisecond scale).
     assert pool_warm_s * 1.5 <= process_s, (pool_warm_s, process_s)
     assert pool_warm_s <= thread_s * 1.15, (pool_warm_s, thread_s)
+
+    # Steady-state acceptance: the first warm-pool sweep built every
+    # problem/oracle (all misses), later sweeps on the same workers
+    # rebuilt none (all hits) and returned identical rows -- and the
+    # warm sweep beats the first by a conservative floor.
+    assert key(ss_first_rows) == key(ss_warm_rows) == key(cold_rows)
+    ss_first_misses = sum(
+        r.meta.get("problem_cache") == "miss" for r in ss_first_rows
+    )
+    ss_warm_hits = sum(
+        r.meta.get("problem_cache") == "hit" for r in ss_warm_rows
+    )
+    assert ss_first_misses == len(ss_first_rows), ss_first_rows[0].meta
+    assert ss_warm_hits == len(ss_warm_rows), ss_warm_rows[0].meta
+    assert ss_warm_s * 1.2 <= ss_first_s, (ss_warm_s, ss_first_s)
 
     # -- Fresh processes: per-file directory vs single-file store. ------
     fresh_cache = tmp_path / "plans-fresh"
@@ -178,6 +215,8 @@ def test_sweep_throughput(tmp_path):
             "process_pool_w2": round(process_s, 6),
             "pool_reuse_first": round(pool_first_s, 6),
             "pool_reuse_warm": round(pool_warm_s, 6),
+            "steady_state_first": round(ss_first_s, 6),
+            "steady_state_warm": round(ss_warm_s, 6),
             "fresh_process_cold": round(fp_cold_s, 6),
             "fresh_process_warm": round(fp_warm_s, 6),
             "store_fresh_cold": round(st_cold_s, 6),
@@ -191,6 +230,9 @@ def test_sweep_throughput(tmp_path):
             "pool_reuse_over_thread": (
                 round(thread_s / pool_warm_s, 3) if pool_warm_s else None
             ),
+            "steady_state_warm_over_first": (
+                round(ss_first_s / ss_warm_s, 3) if ss_warm_s else None
+            ),
             "fresh_process_warm_over_cold": (
                 round(fp_cold_s / fp_warm_s, 3) if fp_warm_s else None
             ),
@@ -199,6 +241,11 @@ def test_sweep_throughput(tmp_path):
             ),
         },
         "pool": pool_info,
+        "problem_cache": {
+            "first_misses": ss_first_misses,
+            "warm_hits": ss_warm_hits,
+            "rows": len(ss_warm_rows),
+        },
         "plan_cache": {
             "in_process_final": in_process_info,
             "fresh_process_cold": fp_cold_info,

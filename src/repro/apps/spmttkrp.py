@@ -159,29 +159,36 @@ def _check_factors(tensor: SparseTensor3, b, c) -> tuple[np.ndarray, np.ndarray]
     return b, c
 
 
-def _sweep_problem(matrix: CsrMatrix, seed: int) -> SimpleNamespace:
-    """Lift a corpus matrix into a 3-way tensor problem.
+def _sweep_problem(matrix: CsrMatrix | SparseTensor3, seed: int) -> SimpleNamespace:
+    """Derive the MTTKRP problem from one corpus entry.
 
-    The matrix's sparsity pattern supplies (i, j); the third mode is a
-    deterministic function of the coordinates, so the tensor inherits the
-    matrix's row-degree skew (the quantity the schedules balance).
+    A native :class:`SparseTensor3` dataset (a *tensor corpus*) is used
+    as-is; a CSR matrix is lifted into a 3-way tensor: its sparsity
+    pattern supplies (i, j) and the third mode is a deterministic
+    function of the coordinates, so the tensor inherits the matrix's
+    row-degree skew (the quantity the schedules balance).  Either way
+    the deterministic factor matrices come from the tensor's shape and
+    the sweep seed.
     """
-    depth = max(1, min(32, matrix.num_cols))
-    rows = np.repeat(
-        np.arange(matrix.num_rows, dtype=np.int64), matrix.row_lengths()
-    )
-    k = (rows + matrix.col_indices) % depth
-    tensor = SparseTensor3.from_arrays(
-        rows,
-        matrix.col_indices,
-        k,
-        matrix.values,
-        (matrix.num_rows, matrix.num_cols, depth),
-    )
+    if isinstance(matrix, SparseTensor3):
+        tensor = matrix
+    else:
+        depth = max(1, min(32, matrix.num_cols))
+        rows = np.repeat(
+            np.arange(matrix.num_rows, dtype=np.int64), matrix.row_lengths()
+        )
+        k = (rows + matrix.col_indices) % depth
+        tensor = SparseTensor3.from_arrays(
+            rows,
+            matrix.col_indices,
+            k,
+            matrix.values,
+            (matrix.num_rows, matrix.num_cols, depth),
+        )
     return SimpleNamespace(
         tensor=tensor,
-        b=input_matrix(matrix.num_cols, SWEEP_RANK, seed),
-        c=input_matrix(depth, SWEEP_RANK, seed + 1),
+        b=input_matrix(tensor.shape[1], SWEEP_RANK, seed),
+        c=input_matrix(tensor.shape[2], SWEEP_RANK, seed + 1),
     )
 
 

@@ -34,6 +34,8 @@ knobs:
   payloads travel through shared memory, small shards are batched);
 * ``--keep-pool`` -- route the sweep through the process-wide persistent
   worker pool so repeated invocations in one process reuse warm workers;
+* ``--transport {auto,shm,pickle}`` -- how dataset payloads reach
+  process-pool workers (shared-memory array bundles vs pickling);
 * ``--workers N`` -- pool width for either executor;
 * ``--plan-cache-dir DIR`` -- persist the engine's plan cache on disk
   (one file per plan) so repeated sweeps of the same grid (and every
@@ -146,6 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --executor process: reuse the "
                               "process-wide persistent worker pool instead "
                               "of spawning one per sweep")
+    p_sweep.add_argument("--transport", default="auto",
+                         choices=["auto", "shm", "pickle"],
+                         help="with --executor process: how dataset payloads "
+                              "reach workers -- shared-memory array bundles "
+                              "with pickle fallback (auto), forced shared "
+                              "memory (errors on unbundleable payloads), or "
+                              "forced pickling")
     p_sweep.add_argument("--seed", type=int, default=None,
                          help="input seed (default: the shared DEFAULT_SEED)")
     p_sweep.add_argument("--no-validate", action="store_true",
@@ -248,6 +257,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.keep_pool and args.executor != "process":
         print("--keep-pool requires --executor process", file=sys.stderr)
         return 2
+    if args.transport != "auto" and args.executor != "process":
+        print("--transport requires --executor process (dataset transport "
+              "only applies to process-pool sweeps)", file=sys.stderr)
+        return 2
 
     ctx = ExecutionContext(
         engine=args.engine,
@@ -269,6 +282,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         executor=args.executor,
         keep_pool=args.keep_pool,
+        transport=args.transport,
     )
     include_app = args.app != "spmv"
     if args.output is not None:

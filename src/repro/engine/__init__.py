@@ -39,8 +39,12 @@ level:
   persistent process pool behind ``executor="process"`` sweeps: warm
   workers survive across ``run_suite`` calls (``keep_pool=True`` shares
   the module-wide :func:`default_executor`), small shards are batched
-  into one pickle crossing, and CSR dataset payloads travel through
-  ``multiprocessing.shared_memory`` instead of the pickle stream.
+  into one pickle crossing, and dataset payloads travel through
+  ``multiprocessing.shared_memory`` as array bundles -- pluggable
+  :class:`ShmCodec` packers cover CSR matrices, COO sparse tensors and
+  dense arrays -- instead of the pickle stream.  Warm workers also keep
+  a bounded content-keyed :class:`ProblemCache` of built problem/oracle
+  pairs, making steady-state sweeps rebuild-free.
 * **Seeding** (:mod:`.seeding`) -- the one deterministic input-vector
   helper shared by the CLI, the harness and the tests.
 
@@ -83,8 +87,15 @@ from .plan_cache import (
 )
 from .plan_store import STORE_FORMAT_VERSION, PlanStore
 from .worker_pool import (
+    TRANSPORTS,
+    ArrayBundleHandle,
+    ProblemCache,
+    ShmCodec,
     SweepExecutor,
+    clear_problem_cache,
     default_executor,
+    problem_cache,
+    register_shm_codec,
     shutdown_default_executor,
 )
 from .registry import (
@@ -129,6 +140,13 @@ __all__ = [
     "PlanCache",
     "PlanStore",
     "SweepExecutor",
+    "TRANSPORTS",
+    "ArrayBundleHandle",
+    "ShmCodec",
+    "register_shm_codec",
+    "ProblemCache",
+    "problem_cache",
+    "clear_problem_cache",
     "default_executor",
     "shutdown_default_executor",
     "clear_plan_cache",

@@ -23,13 +23,24 @@ Shard batching
     Results come back per shard, in submission order.
 
 Shared-memory dataset transport
-    CSR array payloads (``row_offsets`` / ``col_indices`` / ``values``)
-    are published once via :mod:`multiprocessing.shared_memory` and
-    reattached zero-copy in the workers -- the task pickle carries a
-    small handle instead of the arrays.  Problems whose matrices are not
-    CSR (or platforms without shared memory) fall back to plain
-    pickling; both transports produce identical
+    Dataset payloads are packed into *array bundles* -- an ordered list
+    of named ``(dtype, shape, crc)`` segments in one shared-memory block
+    -- published once via :mod:`multiprocessing.shared_memory` and
+    reattached zero-copy in the workers; the task pickle carries a small
+    :class:`ArrayBundleHandle` instead of the arrays.  Payload types are
+    pluggable :class:`ShmCodec` entries (CSR matrices, COO sparse
+    tensors for spmttkrp, dense factor matrices out of the box); types
+    with no codec (or platforms without shared memory) fall back to
+    plain pickling.  Both transports produce identical
     :class:`~repro.evaluation.harness.SweepRow` sets.
+
+Worker-resident problem/oracle cache
+    Repeated sweeps of the same grid used to rebuild every dataset's
+    problem instance and oracle per sweep.  :class:`ProblemCache` is a
+    bounded, content-keyed (app, dataset fingerprint, seed, validate)
+    cache living in each worker process, so steady-state sweeps on a
+    warm pool are problem-build-free *and* oracle-free; hit/miss
+    counters surface through ``SweepRow.meta``.
 """
 
 from __future__ import annotations
@@ -43,27 +54,41 @@ import zlib
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from typing import Any, Callable
 
 import numpy as np
 
 from ..sparse.corpus import Dataset
 from ..sparse.csr import CsrMatrix
+from ..sparse.tensor import SparseTensor3
 
 __all__ = [
     "SweepExecutor",
+    "ArrayBundleHandle",
+    "ArraySegment",
     "SharedDatasetHandle",
+    "ShmCodec",
+    "register_shm_codec",
+    "shm_codec_for",
+    "ProblemCache",
+    "problem_cache",
+    "clear_problem_cache",
     "default_executor",
     "shutdown_default_executor",
     "TRANSPORTS",
+    "PROBLEM_CACHE_ENTRIES_ENV",
+    "PROBLEM_CACHE_BYTES_ENV",
 ]
 
 #: Dataset transports :class:`SweepExecutor` understands.  ``auto``
-#: publishes CSR payloads through shared memory and falls back to
-#: pickling anything else; ``shm`` / ``pickle`` force one path.
+#: publishes codec-claimed payloads (CSR, sparse tensors, dense arrays)
+#: through shared memory and falls back to pickling anything else;
+#: ``shm`` / ``pickle`` force one path.
 TRANSPORTS = ("auto", "shm", "pickle")
 
-_INT = np.dtype(np.int64)
-_FLT = np.dtype(np.float64)
+#: Environment knobs bounding each worker's problem/oracle cache.
+PROBLEM_CACHE_ENTRIES_ENV = "REPRO_PROBLEM_CACHE_ENTRIES"
+PROBLEM_CACHE_BYTES_ENV = "REPRO_PROBLEM_CACHE_BYTES"
 
 
 def _shared_memory():
@@ -77,33 +102,172 @@ def _shared_memory():
 
 
 # ----------------------------------------------------------------------
-# Shared-memory dataset transport
+# Shared-memory dataset transport: array bundles + pluggable codecs
 # ----------------------------------------------------------------------
+#: Segment offsets inside a bundle block are padded to this boundary so
+#: every dtype reattaches aligned, whatever precedes it.
+_SEGMENT_ALIGN = 16
+
+
+def _align(offset: int) -> int:
+    return (offset + _SEGMENT_ALIGN - 1) // _SEGMENT_ALIGN * _SEGMENT_ALIGN
+
+
+def _freeze(value):
+    """Canonical hashable form of a codec ``extra`` value (content keys)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
 @dataclass(frozen=True)
-class SharedDatasetHandle:
+class ArraySegment:
+    """One named array inside a shared-memory bundle block."""
+
+    label: str
+    dtype: str  # numpy dtype string, endianness-qualified
+    shape: tuple
+    crc: int  # crc32 of the array bytes (content key + attach check)
+    offset: int  # byte offset inside the block
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+    def fingerprint(self) -> tuple:
+        """The offset-independent identity used in content keys."""
+        return (self.label, self.dtype, tuple(self.shape), self.crc)
+
+
+@dataclass(frozen=True)
+class ArrayBundleHandle:
     """Picklable stand-in for a :class:`Dataset` whose arrays live in shm.
 
-    The handle carries only names, counts and the block name; workers
-    rebuild the CSR matrix as zero-copy NumPy views over the attached
-    buffer.  Layout inside the block: ``row_offsets`` (int64,
-    ``rows + 1``), then ``col_indices`` (int64, ``nnz``), then ``values``
-    (float64, ``nnz``), contiguous.
+    The handle carries only the block name, the codec that knows how to
+    rebuild the payload, and the ordered ``(dtype, shape, crc)`` segment
+    list; workers reattach each segment as a zero-copy NumPy view over
+    the block and hand the views to the codec's ``unpack``.
     """
 
     shm_name: str
+    codec: str
     dataset_name: str
     family: str
-    rows: int
-    cols: int
-    nnz: int
+    segments: tuple[ArraySegment, ...]
+    extra: dict = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
 
-    def _layout(self) -> tuple[int, int, int]:
-        """Byte offsets of (col_indices, values, total_size)."""
-        off_cols = (self.rows + 1) * _INT.itemsize
-        off_vals = off_cols + self.nnz * _INT.itemsize
-        total = off_vals + self.nnz * _FLT.itemsize
-        return off_cols, off_vals, total
+    @property
+    def payload_bytes(self) -> int:
+        return sum(seg.nbytes for seg in self.segments)
+
+    def content_key(self) -> tuple:
+        """Content fingerprint; equals :func:`dataset_content_key` of the
+        dataset this handle was published from."""
+        return (
+            self.dataset_name,
+            self.codec,
+            tuple(seg.fingerprint() for seg in self.segments),
+            _freeze(self.extra),
+        )
+
+
+#: Backward-compatible alias: PR 4's CSR-only handle type, now the
+#: generic bundle.
+SharedDatasetHandle = ArrayBundleHandle
+
+
+@dataclass(frozen=True)
+class ShmCodec:
+    """How one payload type travels through an array-bundle block.
+
+    ``matches(payload)`` claims a payload; ``pack(payload)`` flattens it
+    into ordered named arrays plus picklable scalar ``extra`` metadata;
+    ``unpack(arrays, extra)`` rebuilds the payload from zero-copy views.
+    Codecs are consulted in registration order; the built-ins cover CSR
+    matrices, COO sparse tensors and dense ndarrays.
+    """
+
+    name: str
+    matches: Callable[[Any], bool]
+    pack: Callable[[Any], tuple[list, dict]]
+    unpack: Callable[[dict, dict], Any]
+
+
+_SHM_CODECS: "OrderedDict[str, ShmCodec]" = OrderedDict()
+
+
+def register_shm_codec(codec: ShmCodec) -> ShmCodec:
+    """Add a payload codec to the transport (consulted in order)."""
+    if codec.name in _SHM_CODECS:
+        raise ValueError(f"shm codec {codec.name!r} already registered")
+    _SHM_CODECS[codec.name] = codec
+    return codec
+
+
+def shm_codec_for(payload: Any) -> ShmCodec | None:
+    """The first registered codec claiming ``payload`` (``None`` = pickle)."""
+    for codec in _SHM_CODECS.values():
+        if codec.matches(payload):
+            return codec
+    return None
+
+
+register_shm_codec(ShmCodec(
+    name="csr",
+    matches=lambda p: isinstance(p, CsrMatrix),
+    pack=lambda m: (
+        [("row_offsets", m.row_offsets), ("col_indices", m.col_indices),
+         ("values", m.values)],
+        {"shape": m.shape},
+    ),
+    unpack=lambda arrays, extra: CsrMatrix(
+        row_offsets=arrays["row_offsets"],
+        col_indices=arrays["col_indices"],
+        values=arrays["values"],
+        shape=tuple(extra["shape"]),
+    ),
+))
+
+register_shm_codec(ShmCodec(
+    name="tensor3",
+    matches=lambda p: isinstance(p, SparseTensor3),
+    pack=lambda t: (
+        [("i", t.i), ("j", t.j), ("k", t.k), ("values", t.values)],
+        {"shape": t.shape},
+    ),
+    # Direct construction, not from_arrays: the published coordinates
+    # already satisfy the sorted-by-mode-0 invariant, and re-sorting
+    # would copy the views the transport exists to avoid.
+    unpack=lambda arrays, extra: SparseTensor3(
+        i=arrays["i"], j=arrays["j"], k=arrays["k"],
+        values=arrays["values"], shape=tuple(extra["shape"]),
+    ),
+))
+
+register_shm_codec(ShmCodec(
+    name="dense",
+    # Object-dtype arrays hold process-local pointers: copying their raw
+    # bytes into shared memory would hand workers foreign addresses.
+    # Leave them (and other non-buffer payloads) to the pickle fallback.
+    matches=lambda p: isinstance(p, np.ndarray) and not p.dtype.hasobject,
+    pack=lambda a: ([("data", a)], {}),
+    unpack=lambda arrays, extra: arrays["data"],
+))
+
+
+def _pack_bundle(dataset: Dataset):
+    """``(codec, [(label, contiguous array), ...], extra)`` or ``None``."""
+    codec = shm_codec_for(dataset.matrix)
+    if codec is None:
+        return None
+    arrays, extra = codec.pack(dataset.matrix)
+    return codec, [(label, np.ascontiguousarray(arr)) for label, arr in arrays], extra
 
 
 class _PublishedDataset:
@@ -132,96 +296,148 @@ class _PublishedDataset:
             pass
 
 
-def dataset_content_key(dataset: Dataset) -> tuple | None:
-    """Cheap content fingerprint of a CSR dataset (publish-cache key).
+def _bundle_crcs(arrays: list) -> list[int]:
+    return [zlib.crc32(arr) for _, arr in arrays]
 
-    Name and shape alone are not enough -- the same corpus name at a
-    different scale (or a caller-mutated matrix) must republish -- so the
-    key includes CRCs of all three arrays.  The CRC pass is paid on
-    every staging, but it costs about as much as one copy of the data --
-    cheap against what a hit saves (shm create + copy + worker reattach)
-    and trivial against what a miss would otherwise repay per sweep
-    (full pickling of the arrays).
-    """
-    matrix = dataset.matrix
-    if not isinstance(matrix, CsrMatrix):
-        return None
+
+def _bundle_key(name: str, codec: ShmCodec, arrays: list, crcs: list, extra: dict) -> tuple:
     return (
-        dataset.name,
-        matrix.num_rows,
-        matrix.num_cols,
-        matrix.nnz,
-        zlib.crc32(np.ascontiguousarray(matrix.row_offsets, dtype=_INT)),
-        zlib.crc32(np.ascontiguousarray(matrix.col_indices, dtype=_INT)),
-        zlib.crc32(np.ascontiguousarray(matrix.values, dtype=_FLT)),
+        name,
+        codec.name,
+        tuple(
+            (label, arr.dtype.str, arr.shape, crc)
+            for (label, arr), crc in zip(arrays, crcs)
+        ),
+        _freeze(extra),
     )
 
 
-def publish_dataset(dataset: Dataset) -> _PublishedDataset | None:
-    """Copy one dataset's CSR arrays into a shared-memory block.
+def dataset_content_key(dataset: Dataset) -> tuple | None:
+    """Cheap content fingerprint of a bundleable dataset.
 
-    Returns ``None`` when the dataset cannot travel this way (non-CSR
-    matrix, shared memory unavailable) -- callers then fall back to
-    pickling the dataset itself.
+    Keys both the parent-side publish cache and the workers' problem/
+    oracle cache.  Name and shape alone are not enough -- the same
+    corpus name at a different scale (or a caller-mutated payload) must
+    republish -- so the key includes a CRC per packed array.  The CRC
+    pass is paid on every staging, but it costs about as much as one
+    copy of the data -- cheap against what a hit saves (shm create +
+    copy + worker reattach, or a problem/oracle rebuild) and trivial
+    against what a miss would otherwise repay per sweep.  Returns
+    ``None`` for payloads no codec claims.
+    """
+    bundle = _pack_bundle(dataset)
+    if bundle is None:
+        return None
+    codec, arrays, extra = bundle
+    return _bundle_key(dataset.name, codec, arrays, _bundle_crcs(arrays), extra)
+
+
+def publish_dataset(
+    dataset: Dataset, *, _bundle=None, _crcs: list | None = None
+) -> _PublishedDataset | None:
+    """Pack one dataset's arrays into a shared-memory bundle block.
+
+    Returns ``None`` when the dataset cannot travel this way (no codec
+    claims the payload, shared memory unavailable, block allocation
+    refused) -- callers then fall back to pickling the dataset itself.
+    A failure while *filling* an already-created block (a codec packing
+    arrays the buffer cannot host) closes and unlinks the block before
+    re-raising, so publish errors never leak shared memory.
+
+    ``_bundle``/``_crcs`` let the staging path reuse the pack + CRC pass
+    it already paid for the content key, so a fresh publish never packs
+    or checksums the arrays twice.
     """
     shared_memory = _shared_memory()
-    matrix = dataset.matrix
-    if shared_memory is None or not isinstance(matrix, CsrMatrix):
+    if shared_memory is None:
         return None
-    handle = SharedDatasetHandle(
-        shm_name="",  # filled below; the OS picks the unique name
-        dataset_name=dataset.name,
-        family=dataset.family,
-        rows=matrix.num_rows,
-        cols=matrix.num_cols,
-        nnz=matrix.nnz,
-        meta=dict(dataset.meta),
-    )
-    off_cols, off_vals, total = handle._layout()
+    bundle = _pack_bundle(dataset) if _bundle is None else _bundle
+    if bundle is None:
+        return None
+    codec, arrays, extra = bundle
+    crcs = _bundle_crcs(arrays) if _crcs is None else _crcs
+    segments = []
+    offset = 0
+    for (label, arr), crc in zip(arrays, crcs):
+        offset = _align(offset)
+        segments.append(ArraySegment(
+            label=label,
+            dtype=arr.dtype.str,
+            shape=arr.shape,
+            crc=crc,
+            offset=offset,
+        ))
+        offset += arr.nbytes
     try:
-        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
     except OSError:
         return None
-    buf = shm.buf
-    np.ndarray((handle.rows + 1,), dtype=_INT, buffer=buf)[:] = matrix.row_offsets
-    np.ndarray((handle.nnz,), dtype=_INT, buffer=buf, offset=off_cols)[:] = (
-        matrix.col_indices
+    try:
+        for seg, (_, arr) in zip(segments, arrays):
+            np.ndarray(
+                seg.shape, dtype=seg.dtype, buffer=shm.buf, offset=seg.offset
+            )[:] = arr
+    except Exception:
+        # The block exists but was never handed out: reclaim it now
+        # instead of leaking it until interpreter exit.
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        raise
+    handle = ArrayBundleHandle(
+        shm_name=shm.name,
+        codec=codec.name,
+        dataset_name=dataset.name,
+        family=dataset.family,
+        segments=tuple(segments),
+        extra=dict(extra),
+        meta=dict(dataset.meta),
     )
-    np.ndarray((handle.nnz,), dtype=_FLT, buffer=buf, offset=off_vals)[:] = (
-        matrix.values
-    )
-    return _PublishedDataset(replace(handle, shm_name=shm.name), shm)
+    return _PublishedDataset(handle, shm)
 
 
-def attach_dataset(handle: SharedDatasetHandle) -> tuple[Dataset, object]:
+def attach_dataset(handle: ArrayBundleHandle) -> tuple[Dataset, object]:
     """Worker-side reattach: rebuild the Dataset over the shm buffer.
 
-    Returns ``(dataset, shm)``; the caller must release the block with
+    Each segment becomes a zero-copy view, CRC-verified against the
+    handle, and the codec's ``unpack`` rebuilds the payload.  Returns
+    ``(dataset, shm)``; the caller must release the block with
     :func:`detach` once the shard's rows are computed.
     """
     shared_memory = _shared_memory()
     assert shared_memory is not None
+    codec = _SHM_CODECS.get(handle.codec)
+    if codec is None:
+        raise KeyError(
+            f"dataset {handle.dataset_name!r} was published with codec "
+            f"{handle.codec!r}, which is not registered in this worker"
+        )
     # Pool workers are children of the publisher, so they share its
     # resource-tracker process: the attach-side register is a set no-op
     # and exactly one unregister happens at the parent's unlink.  (An
     # *unrelated* attacher would need bpo-39959's unregister dance; this
     # transport never crosses that topology.)
     shm = shared_memory.SharedMemory(name=handle.shm_name)
-    off_cols, off_vals, _ = handle._layout()
-    matrix = CsrMatrix(
-        row_offsets=np.ndarray((handle.rows + 1,), dtype=_INT, buffer=shm.buf),
-        col_indices=np.ndarray(
-            (handle.nnz,), dtype=_INT, buffer=shm.buf, offset=off_cols
-        ),
-        values=np.ndarray(
-            (handle.nnz,), dtype=_FLT, buffer=shm.buf, offset=off_vals
-        ),
-        shape=(handle.rows, handle.cols),
-    )
+    arrays = {}
+    for seg in handle.segments:
+        view = np.ndarray(
+            seg.shape, dtype=seg.dtype, buffer=shm.buf, offset=seg.offset
+        )
+        if zlib.crc32(view) != seg.crc:
+            detach(shm)
+            raise ValueError(
+                f"shared-memory segment {seg.label!r} of dataset "
+                f"{handle.dataset_name!r} failed its CRC check"
+            )
+        arrays[seg.label] = view
     dataset = Dataset(
         name=handle.dataset_name,
         family=handle.family,
-        matrix=matrix,
+        matrix=codec.unpack(arrays, dict(handle.extra)),
         meta=dict(handle.meta),
     )
     return dataset, shm
@@ -280,15 +496,186 @@ def _attached_dataset(handle: SharedDatasetHandle) -> Dataset:
     return dataset
 
 
+# ----------------------------------------------------------------------
+# Worker-resident problem/oracle cache
+# ----------------------------------------------------------------------
+def _payload_nbytes(obj: Any, _seen: set | None = None) -> int:
+    """Estimate the resident bytes of a problem/oracle payload.
+
+    Counts ndarray buffers reachable through the containers the sweep
+    problems actually use (namespaces, dataclasses, dicts, sequences);
+    scalars and bookkeeping round to zero -- the budget guards array
+    memory, not Python object overhead.
+    """
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return 0
+    _seen.add(id(obj))
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, dict):
+        return sum(_payload_nbytes(v, _seen) for v in obj.values())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(_payload_nbytes(v, _seen) for v in obj)
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is None and hasattr(obj, "__dataclass_fields__"):
+        attrs = {
+            name: getattr(obj, name) for name in obj.__dataclass_fields__
+        }
+    if isinstance(attrs, dict):
+        return sum(_payload_nbytes(v, _seen) for v in attrs.values())
+    return 0
+
+
+class ProblemCache:
+    """Bounded, content-keyed cache of built ``(problem, oracle)`` pairs.
+
+    Lives in each (persistent) worker process so steady-state sweeps of
+    the same grid skip ``_build_problem`` *and* the oracle entirely.
+    Keys are ``(app, dataset fingerprint, seed, validate)`` -- the
+    fingerprint is the same per-array-CRC content key the shm transport
+    publishes under, so a seed change, a ``validate`` flip or mutated
+    dataset content each miss instead of serving a stale entry (problem
+    construction is independent of the execution context, so ctx changes
+    need no invalidation).  Both budgets are explicit: ``max_entries``
+    bounds the count and ``max_bytes`` the estimated resident array
+    bytes, with least-recently-used eviction.
+    """
+
+    DEFAULT_MAX_ENTRIES = 64
+    DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ):
+        self.max_entries = (
+            self.DEFAULT_MAX_ENTRIES if max_entries is None else int(max_entries)
+        )
+        self.max_bytes = (
+            self.DEFAULT_MAX_BYTES if max_bytes is None else int(max_bytes)
+        )
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @classmethod
+    def from_env(cls) -> "ProblemCache":
+        """Budgets from the ``REPRO_PROBLEM_CACHE_*`` environment knobs.
+
+        A malformed value warns and falls back to the default budget --
+        a cache-tuning typo must degrade the optimization, never crash
+        every sweep shard (same contract as the ambient plan-persistence
+        env handling).
+        """
+
+        def _budget(name: str) -> int | None:
+            raw = os.environ.get(name)
+            if not raw:
+                return None
+            try:
+                return int(raw)
+            except ValueError:
+                import warnings
+
+                warnings.warn(
+                    f"ignoring non-integer {name}={raw!r}; using the "
+                    f"default problem-cache budget",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return None
+
+        return cls(
+            max_entries=_budget(PROBLEM_CACHE_ENTRIES_ENV),
+            max_bytes=_budget(PROBLEM_CACHE_BYTES_ENV),
+        )
+
+    def lookup(self, key: tuple):
+        """``(problem, expected)`` for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def store(self, key: tuple, problem: Any, expected: Any) -> None:
+        nbytes = _payload_nbytes((problem, expected))
+        if nbytes > self.max_bytes or self.max_entries < 1:
+            return  # larger than the whole budget: never cacheable
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = ((problem, expected), nbytes)
+            self._bytes += nbytes
+            while self._entries and (
+                len(self._entries) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self._bytes -= evicted_bytes
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+_PROBLEM_CACHE: ProblemCache | None = None
+_PROBLEM_CACHE_LOCK = threading.Lock()
+
+
+def problem_cache() -> ProblemCache:
+    """This process's problem/oracle cache (env-budgeted, created lazily)."""
+    global _PROBLEM_CACHE
+    with _PROBLEM_CACHE_LOCK:
+        if _PROBLEM_CACHE is None:
+            _PROBLEM_CACHE = ProblemCache.from_env()
+        return _PROBLEM_CACHE
+
+
+def clear_problem_cache() -> None:
+    """Drop the process cache (tests; re-reads the env budgets next use)."""
+    global _PROBLEM_CACHE
+    with _PROBLEM_CACHE_LOCK:
+        _PROBLEM_CACHE = None
+
+
 def _run_batch(tasks: tuple) -> list:
     """Run one batch of shard tasks; one pickle crossing each way."""
     from ..evaluation.harness import _run_shard
 
     out = []
     for task in tasks:
-        if isinstance(task.dataset, SharedDatasetHandle):
+        dataset_key = None
+        if isinstance(task.dataset, ArrayBundleHandle):
+            # The publish-time fingerprint doubles as the problem-cache
+            # key: shm-transported shards never pay a fresh CRC pass.
+            dataset_key = task.dataset.content_key()
             task = replace(task, dataset=_attached_dataset(task.dataset))
-        out.append(_run_shard(task))
+        out.append(_run_shard(task, dataset_key=dataset_key))
     return out
 
 
@@ -420,12 +807,19 @@ class SweepExecutor:
     @staticmethod
     def _payload_atoms(task) -> int:
         dataset = task.dataset
-        if isinstance(dataset, SharedDatasetHandle):
-            return max(1, dataset.nnz + dataset.rows)
+        if isinstance(dataset, ArrayBundleHandle):
+            elements = sum(
+                max(1, seg.nbytes // np.dtype(seg.dtype).itemsize)
+                for seg in dataset.segments
+            )
+            return max(1, elements)
         matrix = getattr(dataset, "matrix", None)
         if matrix is None:
             return 1
-        return max(1, int(matrix.nnz) + int(matrix.num_rows))
+        try:
+            return max(1, int(matrix.nnz) + int(matrix.num_rows))
+        except AttributeError:
+            return 1
 
     #: Per-dataset fixed cost expressed in atom equivalents: at smoke
     #: scale a cell's Python overhead (context, policy, fingerprints)
@@ -484,17 +878,30 @@ class SweepExecutor:
         try:
             with self._shm_lock:
                 for task in tasks:
-                    key = dataset_content_key(task.dataset)
+                    # One pack + CRC pass per dataset: the content key
+                    # and a (possible) publish share the same bundle.
+                    bundle = _pack_bundle(task.dataset)
+                    if bundle is None:
+                        key = crcs = None
+                    else:
+                        codec, arrays, extra = bundle
+                        crcs = _bundle_crcs(arrays)
+                        key = _bundle_key(
+                            task.dataset.name, codec, arrays, crcs, extra
+                        )
                     entry = None if key is None else self._published.get(key)
                     if entry is None:
-                        pub = None if key is None else publish_dataset(task.dataset)
+                        pub = None if key is None else publish_dataset(
+                            task.dataset, _bundle=bundle, _crcs=crcs
+                        )
                         if pub is None:
                             if transport == "shm":
                                 raise ValueError(
                                     f"dataset {task.dataset.name!r} cannot "
-                                    f"travel over shared memory "
-                                    f"(transport='shm'); use 'auto' to fall "
-                                    f"back to pickling"
+                                    f"travel over shared memory (no "
+                                    f"registered ShmCodec claims its "
+                                    f"payload, or shm is unavailable); use "
+                                    f"'auto' to fall back to pickling"
                                 )
                             staged.append(task)
                             continue

@@ -33,11 +33,19 @@ are exposed by the CLI (``python -m repro sweep ...``) as well:
     sweeps (any app) reuse warm workers -- imports paid once, worker
     plan caches kept hot.  Pass ``pool=SweepExecutor(...)`` to manage
     the lifetime yourself (context manager).
-``transport`` (``{auto,shm,pickle}``)
-    How dataset payloads reach process-pool workers: ``auto`` publishes
-    CSR arrays once via shared memory and reattaches them zero-copy in
-    workers, falling back to pickling for non-CSR problems; ``pickle``
-    forces the fallback; ``shm`` errors instead of falling back.
+``transport`` (CLI ``--transport {auto,shm,pickle}``)
+    How dataset payloads reach process-pool workers: ``auto`` packs any
+    codec-claimed payload (CSR matrices, COO sparse tensors, dense
+    arrays -- see :class:`~repro.engine.worker_pool.ShmCodec`) into a
+    shared-memory array bundle published once and reattached zero-copy
+    in workers, falling back to pickling for unclaimed payloads;
+    ``pickle`` forces the fallback; ``shm`` errors instead of falling
+    back.  Warm pool workers additionally serve each shard's problem
+    and oracle from a bounded content-keyed
+    :class:`~repro.engine.worker_pool.ProblemCache` (budgets:
+    ``REPRO_PROBLEM_CACHE_ENTRIES`` / ``REPRO_PROBLEM_CACHE_BYTES``),
+    so steady-state sweeps skip both rebuilds; rows record the
+    ``problem_cache`` outcome in ``meta``.
 ``max_workers`` (CLI ``--workers``)
     Pool width for either executor.  ``None``/1 with
     ``executor="thread"`` degrades to serial; ``process`` defaults to
@@ -184,6 +192,10 @@ def _execute_cell(
     if kernel in app_spec.baselines:
         y, stats = app_spec.baselines[kernel](problem, ctx.spec)
         meta = dict(stats.extras)
+        # Baseline rows carry the same ``schedule`` extras key as policy
+        # and schedule rows, so downstream consumers (BENCH_policy) never
+        # special-case the kernel class.
+        meta.setdefault("schedule", kernel)
     elif kernel in POLICY_KERNELS or kernel in available_schedules():
         result = run_app(app_spec, problem, ctx=ctx.with_policy(as_policy(kernel)))
         y, stats = result.output, result.stats
@@ -294,8 +306,19 @@ class _ShardTask:
         )
 
 
-def _run_shard(task: _ShardTask) -> list[SweepRow]:
-    """Process-pool worker: run every kernel of one (app, dataset) shard."""
+def _run_shard(task: _ShardTask, *, dataset_key: tuple | None = None) -> list[SweepRow]:
+    """Process-pool worker: run every kernel of one (app, dataset) shard.
+
+    ``dataset_key`` is the dataset's content fingerprint when the caller
+    already knows it (the shm transport publishes under it); otherwise it
+    is derived here.  Shards with a fingerprint serve their problem and
+    oracle from the worker-resident :class:`~repro.engine.worker_pool.
+    ProblemCache`, so steady-state sweeps on a warm pool skip both
+    rebuilds; every row's ``meta`` records the ``problem_cache`` outcome
+    plus the worker's running hit/miss counters.
+    """
+    from ..engine.worker_pool import dataset_content_key, problem_cache
+
     ctx = task.context()
     if ctx.plan_store is not None:
         # Warm-start the worker from the persistent plan store (and
@@ -310,13 +333,30 @@ def _run_shard(task: _ShardTask) -> list[SweepRow]:
         # configuration workers share with their parent -- or detach.
         _restore_ambient_plan_persistence()
     app_spec = get_app(task.app)
-    problem = _build_problem(app_spec, task.app, task.dataset, task.seed)
-    expected = (
-        app_spec.oracle(problem)
-        if task.validate and app_spec.oracle is not None
-        else None
-    )
-    return [
+    if dataset_key is None:
+        dataset_key = dataset_content_key(task.dataset)
+    cache = problem_cache()
+    status = "off"
+    cached = None
+    if dataset_key is not None:
+        # Problem construction depends on (app, dataset content, seed)
+        # and the oracle additionally on ``validate``; the execution
+        # context never reaches either, so it stays out of the key.
+        cache_key = (task.app, dataset_key, task.seed, task.validate)
+        cached = cache.lookup(cache_key)
+        status = "miss" if cached is None else "hit"
+    if cached is not None:
+        problem, expected = cached
+    else:
+        problem = _build_problem(app_spec, task.app, task.dataset, task.seed)
+        expected = (
+            app_spec.oracle(problem)
+            if task.validate and app_spec.oracle is not None
+            else None
+        )
+        if status == "miss":
+            cache.store(cache_key, problem, expected)
+    rows = [
         _execute_cell(
             app_spec,
             task.app,
@@ -330,6 +370,16 @@ def _run_shard(task: _ShardTask) -> list[SweepRow]:
         )
         for kernel in task.kernels
     ]
+    for row in rows:
+        row.meta["problem_cache"] = status
+        row.meta["problem_cache_hits"] = cache.hits
+        row.meta["problem_cache_misses"] = cache.misses
+    return rows
+
+
+#: One warning per process when the ambient persistence target is broken
+#: (a typo'd env var must not silently degrade to no-persistence).
+_AMBIENT_RESTORE_WARNED = False
 
 
 def _restore_ambient_plan_persistence() -> None:
@@ -337,9 +387,12 @@ def _restore_ambient_plan_persistence() -> None:
 
     Reattaching an unchanged target is a no-op, so calling this per shard
     is free; an unusable env path degrades to "no persistence", honouring
-    the disk layer's never-change-behaviour contract.
+    the disk layer's never-change-behaviour contract -- but warns once
+    per process, so a typo'd ``REPRO_PLAN_STORE`` is visible instead of
+    silently dropping persistence.
     """
     import os
+    import warnings
 
     from ..engine import CACHE_DIR_ENV, PLAN_STORE_ENV
 
@@ -352,7 +405,19 @@ def _restore_ambient_plan_persistence() -> None:
             configure_global_plan_cache(dir_env)
         else:
             configure_global_plan_cache(None)
-    except Exception:
+    except Exception as exc:
+        global _AMBIENT_RESTORE_WARNED
+        if not _AMBIENT_RESTORE_WARNED:
+            _AMBIENT_RESTORE_WARNED = True
+            target = store_env if store_env is not None else dir_env
+            env_name = PLAN_STORE_ENV if store_env is not None else CACHE_DIR_ENV
+            warnings.warn(
+                f"ambient plan persistence target {target!r} (from "
+                f"{env_name}) is unusable ({exc!r}); continuing without "
+                f"plan persistence",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         configure_global_plan_cache(None)
 
 
@@ -396,6 +461,22 @@ def run_suite(
     """
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+    # Validate the transport up front for *every* executor: a bogus value
+    # must fail fast, not be silently ignored by serial/thread sweeps --
+    # and an explicit non-default transport on an executor that will
+    # never use it is a contradiction, not a no-op (the CLI rejects the
+    # same combination).
+    from ..engine.worker_pool import TRANSPORTS
+
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; choose from {TRANSPORTS}"
+        )
+    if transport != "auto" and executor != "process":
+        raise ValueError(
+            f"transport={transport!r} requires executor='process' (dataset "
+            f"transport only applies to process-pool sweeps)"
+        )
     if (keep_pool or pool is not None) and executor != "process":
         raise ValueError(
             "keep_pool/pool require executor='process' (persistent pools "
@@ -521,23 +602,41 @@ def _run_suite_prepared(
 
 
 def run_spmv_kernel(
-    kernel: str, dataset: Dataset, spec: GpuSpec = V100
+    kernel: str,
+    dataset: Dataset,
+    spec: GpuSpec | None = None,
+    *,
+    ctx: ExecutionContext | None = None,
 ) -> SweepRow:
-    """Run one SpMV (kernel, dataset) cell (backward-compatible wrapper)."""
-    return run_cell("spmv", kernel, dataset, spec)
+    """Run one SpMV (kernel, dataset) cell (backward-compatible wrapper).
+
+    ``ctx`` is the :class:`~repro.engine.context.ExecutionContext`
+    spelling (engine, policy, device count); the positional ``spec`` is
+    the paper-era one.  Passing both is rejected by the same
+    ``from_kwargs`` mutual-exclusion rule as :func:`run_cell`.
+    """
+    return run_cell("spmv", kernel, dataset, spec, ctx=ctx)
 
 
 def run_spmv_suite(
     kernels: Sequence[str],
     *,
     scale: str = "standard",
-    spec: GpuSpec = V100,
+    spec: GpuSpec | None = None,
     datasets: Iterable[Dataset] | None = None,
     limit: int | None = None,
+    ctx: ExecutionContext | None = None,
 ) -> list[SweepRow]:
-    """The SpMV sweep of the paper's evaluation (wrapper over run_suite)."""
+    """The SpMV sweep of the paper's evaluation (wrapper over run_suite).
+
+    ``ctx`` threads a full :class:`~repro.engine.context.ExecutionContext`
+    through to :func:`run_suite` for callers migrating off the paper-era
+    API; combining it with the legacy ``spec=`` raises (``from_kwargs``
+    mutual exclusion, same as :func:`run_cell`).
+    """
     return run_suite(
-        kernels, app="spmv", scale=scale, spec=spec, datasets=datasets, limit=limit
+        kernels, app="spmv", scale=scale, spec=spec, datasets=datasets,
+        limit=limit, ctx=ctx,
     )
 
 

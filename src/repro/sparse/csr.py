@@ -88,6 +88,13 @@ class CsrMatrix:
     def nnz(self) -> int:
         return int(self.col_indices.size)
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the three CSR arrays (cache budgeting)."""
+        return int(
+            self.row_offsets.nbytes + self.col_indices.nbytes + self.values.nbytes
+        )
+
     def row_lengths(self) -> np.ndarray:
         """Number of nonzeros in each row (= atoms per tile)."""
         return np.diff(self.row_offsets)

@@ -52,6 +52,24 @@ class SparseTensor3:
     def nnz(self) -> int:
         return int(self.values.size)
 
+    # Matrix-compatible accessors: mode-0 slices are the tiles (rows) and
+    # mode-1 the matricized columns, so tensor datasets flow through the
+    # harness's (rows, cols, nnz) row schema and shard sizing unchanged.
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the coordinate + value arrays."""
+        return int(
+            self.i.nbytes + self.j.nbytes + self.k.nbytes + self.values.nbytes
+        )
+
     def validate(self) -> None:
         if not (self.i.shape == self.j.shape == self.k.shape == self.values.shape):
             raise ValueError("coordinate arrays must have identical shapes")

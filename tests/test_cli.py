@@ -115,6 +115,34 @@ class TestSweepCommand:
         assert code == 2
         assert "--executor process" in capsys.readouterr().err
 
+    def test_transport_requires_process_executor(self, capsys):
+        code, _ = run_cli(
+            "sweep", "--kernels", "merge_path", "--scale", "smoke",
+            "--limit", "1", "--transport", "shm",
+        )
+        assert code == 2
+        assert "--executor process" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("transport", ["auto", "shm", "pickle"])
+    def test_transport_round_trip(self, transport):
+        code, out = run_cli(
+            "sweep", "--kernels", "merge_path", "--scale", "smoke",
+            "--limit", "2", "--executor", "process", "--workers", "2",
+            "--transport", transport,
+        )
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(out)))
+        assert len(rows) == 2
+
+    def test_transport_invalid_value_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(
+                "sweep", "--kernels", "merge_path", "--scale", "smoke",
+                "--limit", "1", "--executor", "process",
+                "--transport", "telepathy",
+            )
+        assert excinfo.value.code == 2  # argparse choices rejection
+
     def test_keep_pool_sweep(self):
         from repro.engine import shutdown_default_executor
 

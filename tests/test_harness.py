@@ -38,6 +38,61 @@ class TestRunKernel:
             "merge_path",
         }
 
+    @pytest.mark.parametrize("baseline", ["cub", "cusparse"])
+    def test_baseline_rows_record_schedule_uniformly(self, baseline):
+        """Regression: baseline rows lacked the ``schedule`` extras key
+        that policy/schedule rows carry, forcing consumers to
+        special-case the kernel class."""
+        ds = load_dataset("tiny_power_256", "smoke")
+        row = run_spmv_kernel(baseline, ds)
+        assert row.meta["schedule"] == baseline
+
+
+class TestWrapperContext:
+    """ctx= threads through the paper-era wrappers (legacy-API migration)."""
+
+    def test_run_spmv_kernel_accepts_ctx(self):
+        from repro.engine import ExecutionContext
+        from repro.gpusim.arch import get_spec
+
+        ds = load_dataset("tiny_power_256", "smoke")
+        spec = get_spec("AMD-WARP64")
+        via_ctx = run_spmv_kernel("merge_path", ds, ctx=ExecutionContext(spec=spec))
+        via_spec = run_spmv_kernel("merge_path", ds, spec)
+        assert via_ctx.elapsed == via_spec.elapsed
+
+    def test_run_spmv_kernel_ctx_and_spec_conflict(self):
+        from repro.engine import ExecutionContext
+        from repro.gpusim.arch import V100
+
+        ds = load_dataset("tiny_diag_32", "smoke")
+        with pytest.raises(ValueError, match="not both"):
+            run_spmv_kernel("merge_path", ds, V100, ctx=ExecutionContext())
+
+    def test_run_spmv_suite_accepts_ctx(self):
+        from repro.engine import ExecutionContext
+
+        ds = [load_dataset("tiny_uniform_64", "smoke")]
+        via_ctx = run_spmv_suite(
+            ["merge_path"], datasets=ds, ctx=ExecutionContext(engine="vector")
+        )
+        plain = run_spmv_suite(["merge_path"], datasets=ds)
+        assert [(r.dataset, r.elapsed) for r in via_ctx] == [
+            (r.dataset, r.elapsed) for r in plain
+        ]
+
+    def test_run_spmv_suite_ctx_and_spec_conflict(self):
+        from repro.engine import ExecutionContext
+        from repro.gpusim.arch import V100
+
+        with pytest.raises(ValueError, match="not both"):
+            run_spmv_suite(
+                ["merge_path"],
+                datasets=[load_dataset("tiny_diag_32", "smoke")],
+                spec=V100,
+                ctx=ExecutionContext(),
+            )
+
 
 class TestSuite:
     def test_limit_and_kernel_grid(self):

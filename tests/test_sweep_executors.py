@@ -108,6 +108,63 @@ class TestExecutorEquivalence:
             run_suite(["merge_path"], scale="smoke", limit=1, executor="gpu")
         assert EXECUTORS == ("serial", "thread", "process")
 
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_unknown_transport_rejected_for_every_executor(self, executor):
+        """A bogus transport fails fast even where it would never be
+        used (serial/thread), instead of being silently ignored."""
+        with pytest.raises(ValueError, match="unknown transport"):
+            run_suite(["merge_path"], scale="smoke", limit=1,
+                      executor=executor, transport="telepathy")
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_explicit_transport_requires_process_executor(self, executor):
+        """Same contract as the CLI: asking for a specific transport on
+        an executor that will never use it is an error, not a no-op."""
+        with pytest.raises(ValueError, match="executor='process'"):
+            run_suite(["merge_path"], scale="smoke", limit=1,
+                      executor=executor, transport="shm")
+
+    def test_tensor_corpus_shm_sweep_matches_pickle_and_serial(self):
+        """The 5-path row-set equality, extended to a *tensor corpus*:
+        spmttkrp over native SparseTensor3 datasets travels through the
+        generalized array-bundle shm transport bit-for-bit."""
+        from repro.engine import SweepExecutor
+        from repro.sparse.corpus import Dataset
+        from repro.sparse.tensor import random_tensor
+
+        tensors = [
+            Dataset(
+                name=f"tensor_{i}",
+                family="tensor",
+                matrix=random_tensor(
+                    (40 + 8 * i, 32, 12), 500 + 40 * i, skew=0.6, seed=i
+                ),
+            )
+            for i in range(3)
+        ]
+        grid = ["merge_path", "thread_mapped"]
+        kwargs = dict(app="spmttkrp", datasets=tensors, seed=3)
+        paths = {
+            "serial": run_suite(grid, executor="serial", **kwargs),
+            "thread": run_suite(grid, executor="thread", max_workers=4,
+                                **kwargs),
+            "pickle_transport": run_suite(grid, executor="process",
+                                          max_workers=2, transport="pickle",
+                                          **kwargs),
+            "shared_memory": run_suite(grid, executor="process",
+                                       max_workers=2, transport="shm",
+                                       **kwargs),
+        }
+        with SweepExecutor(max_workers=2, transport="shm") as pool:
+            paths["persistent_pool_shm"] = run_suite(
+                grid, executor="process", pool=pool, transport="shm", **kwargs
+            )
+        reference = _key(paths["serial"])
+        assert len(reference) == len(tensors) * len(grid)
+        assert [r.rows for r in paths["serial"][::len(grid)]] == [40, 48, 56]
+        for name, rows in paths.items():
+            assert _key(rows) == reference, f"{name} diverged from serial"
+
     def test_empty_dataset_list(self):
         assert run_suite(["merge_path"], datasets=[], executor="process") == []
 
@@ -212,6 +269,44 @@ class TestSharding:
             _run_shard(task)
             assert global_plan_cache().cache_dir == tmp_path / "plans"
             assert list((tmp_path / "plans").glob("plan-*.pkl"))
+        finally:
+            configure_global_plan_cache(None)
+
+
+class TestAmbientRestoreWarning:
+    def test_unusable_env_target_warns_once_per_process(self, monkeypatch, tmp_path):
+        """Regression: a typo'd REPRO_PLAN_STORE used to degrade to
+        no-persistence with zero signal."""
+        import warnings
+
+        from repro.engine import PLAN_STORE_ENV, configure_global_plan_cache
+        from repro.evaluation import harness
+
+        # A directory is not openable as a journal file.
+        monkeypatch.setenv(PLAN_STORE_ENV, str(tmp_path))
+        monkeypatch.setattr(harness, "_AMBIENT_RESTORE_WARNED", False)
+        try:
+            with pytest.warns(RuntimeWarning, match="plan persistence"):
+                harness._restore_ambient_plan_persistence()
+            # Once per process: the second restore stays silent.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                harness._restore_ambient_plan_persistence()
+        finally:
+            configure_global_plan_cache(None)
+
+    def test_usable_env_target_does_not_warn(self, monkeypatch, tmp_path):
+        import warnings
+
+        from repro.engine import PLAN_STORE_ENV, configure_global_plan_cache
+        from repro.evaluation import harness
+
+        monkeypatch.setenv(PLAN_STORE_ENV, str(tmp_path / "plans.journal"))
+        monkeypatch.setattr(harness, "_AMBIENT_RESTORE_WARNED", False)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                harness._restore_ambient_plan_persistence()
         finally:
             configure_global_plan_cache(None)
 

@@ -9,18 +9,24 @@ results (identical row sets vs serial), and every knob degrades cleanly
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.engine import SweepExecutor, default_executor, shutdown_default_executor
 from repro.engine.worker_pool import (
     TRANSPORTS,
+    ArrayBundleHandle,
     SharedDatasetHandle,
+    ShmCodec,
     attach_dataset,
+    dataset_content_key,
     detach,
     publish_dataset,
+    register_shm_codec,
 )
 from repro.evaluation.harness import _ShardTask, run_suite
-from repro.sparse.corpus import load_dataset
+from repro.sparse.corpus import Dataset, load_dataset
+from repro.sparse.tensor import random_tensor
 
 KERNELS = ["merge_path", "thread_mapped"]
 
@@ -85,6 +91,128 @@ class TestSharedMemoryTransport:
                             dataset=load_dataset("tiny_diag_32", "smoke"))],
                 transport="telepathy",
             )
+
+
+class TestArrayBundleTransport:
+    """The generalized (codec-based) array-bundle handle."""
+
+    def test_handle_alias_is_the_bundle_type(self):
+        assert SharedDatasetHandle is ArrayBundleHandle
+
+    def test_tensor_round_trip(self):
+        tensor = random_tensor((48, 32, 16), 700, skew=0.8, seed=5)
+        ds = Dataset(name="tensor_ds", family="tensor", matrix=tensor,
+                     meta={"kind": "coo"})
+        pub = publish_dataset(ds)
+        assert pub is not None and pub.handle.codec == "tensor3"
+        try:
+            assert pub.handle.content_key() == dataset_content_key(ds)
+            labels = [seg.label for seg in pub.handle.segments]
+            assert labels == ["i", "j", "k", "values"]
+            clone, shm = attach_dataset(pub.handle)
+            try:
+                t = clone.matrix
+                assert t.shape == tensor.shape
+                for a, b in ((t.i, tensor.i), (t.j, tensor.j),
+                             (t.k, tensor.k), (t.values, tensor.values)):
+                    assert np.array_equal(a, b)
+                assert clone.meta == {"kind": "coo"}
+            finally:
+                del clone, t
+                detach(shm)
+        finally:
+            pub.unlink()
+
+    def test_dense_round_trip(self):
+        payload = np.arange(24.0).reshape(4, 6)
+        ds = Dataset(name="factors", family="dense", matrix=payload)
+        pub = publish_dataset(ds)
+        assert pub is not None and pub.handle.codec == "dense"
+        try:
+            clone, shm = attach_dataset(pub.handle)
+            try:
+                assert np.array_equal(clone.matrix, payload)
+                assert clone.matrix.dtype == payload.dtype
+            finally:
+                del clone
+                detach(shm)
+        finally:
+            pub.unlink()
+
+    def test_object_dtype_arrays_fall_back_to_pickle(self):
+        """Object arrays hold process-local pointers; shipping their raw
+        bytes through shm would segfault workers.  No codec may claim
+        them -- they must pickle."""
+        from repro.engine.worker_pool import shm_codec_for
+
+        payload = np.array([{"a": 1}, [2, 3]], dtype=object)
+        assert shm_codec_for(payload) is None
+        ds = Dataset(name="objs", family="dense", matrix=payload)
+        assert publish_dataset(ds) is None
+        assert dataset_content_key(ds) is None
+
+    def test_content_key_tracks_payload_mutation(self):
+        a = random_tensor((16, 8, 4), 60, seed=1)
+        b = random_tensor((16, 8, 4), 60, seed=2)
+        key_a = dataset_content_key(Dataset(name="t", family="f", matrix=a))
+        key_b = dataset_content_key(Dataset(name="t", family="f", matrix=b))
+        assert key_a != key_b  # same name/shape, different content
+
+    def test_duplicate_codec_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_shm_codec(ShmCodec(
+                name="csr", matches=lambda p: False,
+                pack=lambda p: ([], {}), unpack=lambda a, e: None,
+            ))
+
+    def test_publish_failure_closes_and_unlinks_the_block(self, monkeypatch):
+        """Regression: a failure while filling an already-created block
+        must not leak the block until interpreter exit."""
+        from multiprocessing import shared_memory as real_shared_memory
+        from types import SimpleNamespace
+
+        from repro.engine import worker_pool
+
+        created = []
+
+        class RecordingSharedMemory(real_shared_memory.SharedMemory):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                if kwargs.get("create"):
+                    created.append(self.name)
+
+        monkeypatch.setattr(
+            worker_pool, "_shared_memory",
+            lambda: SimpleNamespace(SharedMemory=RecordingSharedMemory),
+        )
+
+        class Unfillable:
+            pass
+
+        # Structured arrays survive packing (they are ndarrays) but
+        # their ``dtype.str`` collapses to a void type the fill cannot
+        # cast into: the copy raises *after* the block was created --
+        # the dtype-mismatch-during-fill case from the bug report.
+        codec = ShmCodec(
+            name="unfillable-test",
+            matches=lambda p: isinstance(p, Unfillable),
+            pack=lambda p: (
+                [("data", np.zeros(4, dtype=[("a", "f8"), ("b", "i4")]))], {}
+            ),
+            unpack=lambda a, e: None,
+        )
+        register_shm_codec(codec)
+        try:
+            ds = Dataset(name="broken", family="test", matrix=Unfillable())
+            with pytest.raises(TypeError):
+                publish_dataset(ds)
+            assert len(created) == 1  # the block really was created...
+            with pytest.raises(FileNotFoundError):
+                # ... and is gone: attaching by name finds nothing, so
+                # nothing leaked for the resource tracker to reap.
+                real_shared_memory.SharedMemory(name=created[0])
+        finally:
+            worker_pool._SHM_CODECS.pop("unfillable-test", None)
 
 
 class TestSweepExecutor:
