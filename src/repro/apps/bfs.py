@@ -14,7 +14,14 @@ from types import SimpleNamespace
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
-from ..engine import AppSpec, Runtime, register_app, run_app
+from ..engine import (
+    AppSpec,
+    CompiledKernel,
+    Runtime,
+    register_app,
+    register_jit_warmup,
+    run_app,
+)
 from ..gpusim.arch import GpuSpec
 from ..sparse.graph import CsrGraph
 from .common import AppResult
@@ -23,6 +30,47 @@ from .traversal import graph_sweep_problem, run_frontier_loop
 __all__ = ["bfs", "bfs_reference", "bfs_driver"]
 
 UNVISITED = -1
+
+
+def _bfs_relax_arrays(edge_targets, depth, level, n):
+    """One BFS advance over the expanded edge frontier (vectorized).
+
+    Mutates ``depth`` in place and returns the next-frontier mask; the
+    level is an explicit argument (not driver state) so the function is
+    pure in everything but its named outputs -- the property the
+    compiled engine's per-iteration kernels rely on.
+    """
+    fresh = depth[edge_targets] == UNVISITED
+    targets = np.unique(edge_targets[fresh])
+    depth[targets] = level
+    next_mask = np.zeros(n, dtype=bool)
+    next_mask[targets] = True
+    return next_mask
+
+
+def _bfs_relax_scalar(edge_targets, depth, level, n):
+    """Flat-loop BFS advance (jit-able, integer-exact).
+
+    Claims each unvisited target at first touch; the claimed set -- and
+    hence ``depth`` and the mask -- equals
+    :func:`_bfs_relax_arrays`'s ``unique`` exactly.
+    """
+    next_mask = np.zeros(n, dtype=np.bool_)
+    for e in range(edge_targets.shape[0]):
+        dst = edge_targets[e]
+        if depth[dst] == UNVISITED:
+            depth[dst] = level
+            next_mask[dst] = True
+    return next_mask
+
+
+def _bfs_example_args() -> tuple:
+    targets = np.array([1, 2], dtype=np.int64)
+    depth = np.array([0, UNVISITED, UNVISITED], dtype=np.int64)
+    return targets, depth, 1, 3
+
+
+register_jit_warmup("bfs", _bfs_relax_scalar, _bfs_example_args)
 
 
 def bfs_reference(graph: CsrGraph, source: int) -> np.ndarray:
@@ -87,12 +135,7 @@ def bfs_driver(problem, rt: Runtime) -> AppResult:
 
     def relax(frontier, edge_sources, edge_targets, edge_weights):
         level["d"] += 1
-        fresh = depth[edge_targets] == UNVISITED
-        targets = np.unique(edge_targets[fresh])
-        depth[targets] = level["d"]
-        next_mask = np.zeros(n, dtype=bool)
-        next_mask[targets] = True
-        return next_mask
+        return _bfs_relax_arrays(edge_targets, depth, level["d"], n)
 
     def relax_edge(ctx, src, dst, weight, next_mask):
         # Scalar Listing 5 body: claim unvisited neighbors with a CAS.
@@ -103,8 +146,21 @@ def bfs_driver(problem, rt: Runtime) -> AppResult:
             if old == UNVISITED:
                 next_mask[dst] = True
 
+    def make_compiled(iteration, frontier, edge_sources, edge_targets,
+                      edge_weights):
+        # Level-synchronous: iteration ``it`` assigns depth ``it + 1``,
+        # so the level bakes into the args and the kernel stays free of
+        # driver-state side effects.
+        return CompiledKernel(
+            label="advance",
+            args=(edge_targets, depth, iteration + 1, n),
+            vector_fn=_bfs_relax_arrays,
+            scalar_fn=_bfs_relax_scalar,
+        )
+
     iterations, stats = run_frontier_loop(
-        graph, source, relax, relax_edge=relax_edge, rt=rt
+        graph, source, relax, relax_edge=relax_edge,
+        make_compiled=make_compiled, rt=rt
     )
     return AppResult(
         output=depth,

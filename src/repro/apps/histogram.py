@@ -21,7 +21,14 @@ import numpy as np
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.schedules.lrb import lrb_bins
 from ..core.work import WorkSpec
-from ..engine import AppSpec, Runtime, register_app, run_app
+from ..engine import (
+    AppSpec,
+    CompiledKernel,
+    Runtime,
+    register_app,
+    register_jit_warmup,
+    run_app,
+)
 from ..gpusim.arch import GpuSpec
 from ..sparse.csr import CsrMatrix
 from .common import AppResult, tile_charges
@@ -37,9 +44,49 @@ def _bin_counts(counts: np.ndarray) -> np.ndarray:
     return np.bincount(bins, minlength=num_bins).astype(np.int64)
 
 
+def _histogram_arrays(row_offsets):
+    """The whole histogram over the flat extent array."""
+    return _bin_counts(np.diff(row_offsets))
+
+
+def _histogram_scalar(row_offsets):
+    """Flat-loop histogram (jit-able, integer-exact).
+
+    Bins by ``bit_length(count)`` -- the scalar identity of LRB's
+    ``ceil(log2(n + 1))`` binning -- so the result equals
+    :func:`_histogram_arrays` exactly.
+    """
+    num_rows = row_offsets.shape[0] - 1
+    max_bin = 0
+    for row in range(num_rows):
+        n = row_offsets[row + 1] - row_offsets[row]
+        bin_id = 0
+        while n > 0:
+            bin_id += 1
+            n >>= 1
+        if bin_id > max_bin:
+            max_bin = bin_id
+    hist = np.zeros(max_bin + 1, dtype=np.int64)
+    for row in range(num_rows):
+        n = row_offsets[row + 1] - row_offsets[row]
+        bin_id = 0
+        while n > 0:
+            bin_id += 1
+            n >>= 1
+        hist[bin_id] += 1
+    return hist
+
+
+def _histogram_example_args() -> tuple:
+    return (np.array([0, 1, 3], dtype=np.int64),)
+
+
+register_jit_warmup("histogram", _histogram_scalar, _histogram_example_args)
+
+
 def degree_histogram_reference(matrix: CsrMatrix) -> np.ndarray:
     """Pure NumPy oracle: LRB-binned row-length histogram."""
-    return _bin_counts(matrix.row_lengths())
+    return _histogram_arrays(matrix.row_offsets)
 
 
 def degree_histogram(
@@ -114,6 +161,13 @@ def histogram_driver(problem, rt: Runtime) -> AppResult:
         costs,
         compute=compute,
         kernel=kernel,
+        compiled=CompiledKernel(
+            label="histogram",
+            args=(matrix.row_offsets,),
+            vector_fn=_histogram_arrays,
+            scalar_fn=_histogram_scalar,
+        ),
+        kernel_label="histogram",
         extras={"app": "degree_histogram"},
     )
     return AppResult(output=output, stats=stats, schedule=sched.name)

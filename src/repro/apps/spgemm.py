@@ -25,7 +25,14 @@ import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
-from ..engine import AppSpec, Runtime, register_app, run_app
+from ..engine import (
+    AppSpec,
+    CompiledKernel,
+    Runtime,
+    register_app,
+    register_jit_warmup,
+    run_app,
+)
 from ..gpusim.arch import GpuSpec
 from ..sparse.convert import coo_to_csr, csr_transpose
 from ..sparse.coo import CooMatrix
@@ -59,6 +66,52 @@ def _compute_costs(spec: GpuSpec) -> WorkCosts:
         atom_bytes=24.0,  # B value/index gather + C accumulation traffic
         tile_bytes=12.0,
     )
+
+
+def _spgemm_count_arrays(a_row_offsets, a_col_indices, b_row_lengths):
+    """Pass-1 product counts over flat arrays (exact integers)."""
+    num_rows = a_row_offsets.shape[0] - 1
+    per_row = np.zeros(num_rows, dtype=np.int64)
+    a_rows = np.repeat(
+        np.arange(num_rows, dtype=np.int64), np.diff(a_row_offsets)
+    )
+    np.add.at(per_row, a_rows, b_row_lengths[a_col_indices])
+    return per_row
+
+
+def _spgemm_count_scalar(a_row_offsets, a_col_indices, b_row_lengths):
+    """Flat-loop count pass (jit-able, integer-exact)."""
+    num_rows = a_row_offsets.shape[0] - 1
+    per_row = np.zeros(num_rows, dtype=np.int64)
+    for row in range(num_rows):
+        total = 0
+        for nz in range(a_row_offsets[row], a_row_offsets[row + 1]):
+            total += b_row_lengths[a_col_indices[nz]]
+        per_row[row] = total
+    return per_row
+
+
+def _spgemm_count_example_args() -> tuple:
+    offsets = np.array([0, 1, 2], dtype=np.int64)
+    cols = np.array([0, 1], dtype=np.int64)
+    return offsets, cols, np.array([1, 2], dtype=np.int64)
+
+
+register_jit_warmup("count", _spgemm_count_scalar, _spgemm_count_example_args)
+
+
+def _spgemm_compute_arrays(prod_rows, prod_cols, prod_vals, num_rows, num_cols):
+    """Pass-2 accumulation of the expanded products into CSR.
+
+    Array-path only (no scalar form): the duplicate-summing CSR assembly
+    is the computation, and its sort-based reduction has no flat-loop
+    equivalent with identical float ordering -- so the compiled engine
+    keeps this launch on the vectorized path even under numba.
+    """
+    coo = CooMatrix.from_arrays(
+        prod_rows, prod_cols, prod_vals, (num_rows, num_cols)
+    ).sum_duplicates()
+    return coo_to_csr(coo)
 
 
 def spgemm_reference(a: CsrMatrix, b: CsrMatrix) -> CsrMatrix:
@@ -141,9 +194,7 @@ def spgemm_driver(problem, rt: Runtime) -> AppResult:
     sched1 = rt.schedule_for(work_count, matrix=a, kernel="count", costs=costs1)
 
     def compute_counts() -> np.ndarray:
-        per_row = np.zeros(a.num_rows, dtype=np.int64)
-        np.add.at(per_row, a_rows, b_row_lengths[a.col_indices])
-        return per_row
+        return _spgemm_count_arrays(a.row_offsets, a.col_indices, b_row_lengths)
 
     def count_kernel():
         counts = np.zeros(a.num_rows)
@@ -168,6 +219,13 @@ def spgemm_driver(problem, rt: Runtime) -> AppResult:
         costs1,
         compute=compute_counts,
         kernel=count_kernel,
+        compiled=CompiledKernel(
+            label="count",
+            args=(a.row_offsets, a.col_indices, b_row_lengths),
+            vector_fn=_spgemm_count_arrays,
+            scalar_fn=_spgemm_count_scalar,
+        ),
+        kernel_label="count",
         extras={"app": "spgemm/count"},
     )
 
@@ -182,11 +240,10 @@ def spgemm_driver(problem, rt: Runtime) -> AppResult:
     )
 
     def compute_product() -> CsrMatrix:
-        coo = CooMatrix.from_arrays(
+        return _spgemm_compute_arrays(
             products["rows"], products["cols"], products["vals"],
-            (a.num_rows, b.num_cols),
-        ).sum_duplicates()
-        return coo_to_csr(coo)
+            a.num_rows, b.num_cols,
+        )
 
     def compute_kernel():
         # Product atoms are row-sorted (they inherit A's atom order), so
@@ -241,6 +298,16 @@ def spgemm_driver(problem, rt: Runtime) -> AppResult:
         costs2,
         compute=compute_product,
         kernel=compute_kernel,
+        compiled=CompiledKernel(
+            label="compute",
+            args=(
+                products["rows"], products["cols"], products["vals"],
+                a.num_rows, b.num_cols,
+            ),
+            vector_fn=_spgemm_compute_arrays,
+            scalar_fn=None,
+        ),
+        kernel_label="compute",
         extras={"app": "spgemm/compute"},
     )
 

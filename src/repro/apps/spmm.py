@@ -15,7 +15,15 @@ import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
-from ..engine import AppSpec, Runtime, input_matrix, register_app, run_app
+from ..engine import (
+    AppSpec,
+    CompiledKernel,
+    Runtime,
+    input_matrix,
+    register_app,
+    register_jit_warmup,
+    run_app,
+)
 from ..gpusim.arch import GpuSpec
 from ..sparse.csr import CsrMatrix
 from .common import AppResult, spmv_costs, tile_charges
@@ -41,15 +49,46 @@ def spmm_costs(spec: GpuSpec, n_cols: int) -> WorkCosts:
     )
 
 
+def _spmm_arrays(row_offsets, col_indices, values, b):
+    """The whole SpMM over flat arrays (shared by oracle and engines)."""
+    num_rows = row_offsets.shape[0] - 1
+    c = np.zeros((num_rows, b.shape[1]))
+    row_ids = np.repeat(
+        np.arange(num_rows, dtype=np.int64), np.diff(row_offsets)
+    )
+    np.add.at(c, row_ids, values[:, None] * b[col_indices])
+    return c
+
+
+def _spmm_scalar(row_offsets, col_indices, values, b):
+    """Flat-loop SpMM (jit-able); per-entry add order matches the
+    scatter-add of :func:`_spmm_arrays` bit-for-bit."""
+    num_rows = row_offsets.shape[0] - 1
+    n_cols = b.shape[1]
+    c = np.zeros((num_rows, n_cols))
+    for row in range(num_rows):
+        for col in range(n_cols):
+            acc = 0.0
+            for nz in range(row_offsets[row], row_offsets[row + 1]):
+                acc += values[nz] * b[col_indices[nz], col]
+            c[row, col] = acc
+    return c
+
+
+def _spmm_example_args() -> tuple:
+    offsets = np.array([0, 1, 2], dtype=np.int64)
+    cols = np.array([0, 1], dtype=np.int64)
+    vals = np.array([1.0, 2.0])
+    return offsets, cols, vals, np.ones((2, 2))
+
+
+register_jit_warmup("spmm", _spmm_scalar, _spmm_example_args)
+
+
 def spmm_reference(matrix: CsrMatrix, b: np.ndarray) -> np.ndarray:
     """Pure NumPy oracle."""
     b = _check_b(matrix, b)
-    c = np.zeros((matrix.num_rows, b.shape[1]))
-    row_ids = np.repeat(
-        np.arange(matrix.num_rows, dtype=np.int64), matrix.row_lengths()
-    )
-    np.add.at(c, row_ids, matrix.values[:, None] * b[matrix.col_indices])
-    return c
+    return _spmm_arrays(matrix.row_offsets, matrix.col_indices, matrix.values, b)
 
 
 def spmm(
@@ -118,7 +157,18 @@ def spmm_driver(problem, rt: Runtime) -> AppResult:
         return body, lambda: c
 
     output, stats = rt.run_launch(
-        sched, costs, compute=compute, kernel=kernel, extras={"app": "spmm"}
+        sched,
+        costs,
+        compute=compute,
+        kernel=kernel,
+        compiled=CompiledKernel(
+            label="spmm",
+            args=(matrix.row_offsets, matrix.col_indices, matrix.values, b),
+            vector_fn=_spmm_arrays,
+            scalar_fn=_spmm_scalar,
+        ),
+        kernel_label="spmm",
+        extras={"app": "spmm"},
     )
     return AppResult(output=output, stats=stats, schedule=sched.name)
 

@@ -20,7 +20,15 @@ import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
-from ..engine import AppSpec, Runtime, input_matrix, register_app, run_app
+from ..engine import (
+    AppSpec,
+    CompiledKernel,
+    Runtime,
+    input_matrix,
+    register_app,
+    register_jit_warmup,
+    run_app,
+)
 from ..gpusim.arch import GpuSpec
 from ..sparse.csr import CsrMatrix
 from ..sparse.tensor import SparseTensor3
@@ -45,15 +53,57 @@ def mttkrp_costs(spec: GpuSpec, rank: int) -> WorkCosts:
     )
 
 
+def _mttkrp_arrays(slice_offsets, jj, kk, values, b, c):
+    """The whole MTTKRP over flat arrays (shared by oracle and engines).
+
+    ``slice_offsets`` is the mode-0 CSR-style extent array; the tensor's
+    sortedness invariant makes ``repeat(arange, diff)`` exactly its
+    ``i`` coordinates.
+    """
+    num_slices = slice_offsets.shape[0] - 1
+    m = np.zeros((num_slices, b.shape[1]))
+    ii = np.repeat(
+        np.arange(num_slices, dtype=np.int64), np.diff(slice_offsets)
+    )
+    np.add.at(m, ii, values[:, None] * b[jj] * c[kk])
+    return m
+
+
+def _mttkrp_scalar(slice_offsets, jj, kk, values, b, c):
+    """Flat-loop MTTKRP (jit-able); multiply order ``(v * b) * c`` and
+    nz-ascending adds match :func:`_mttkrp_arrays` bit-for-bit."""
+    num_slices = slice_offsets.shape[0] - 1
+    rank = b.shape[1]
+    m = np.zeros((num_slices, rank))
+    for i in range(num_slices):
+        for nz in range(slice_offsets[i], slice_offsets[i + 1]):
+            v = values[nz]
+            j = jj[nz]
+            k = kk[nz]
+            for r in range(rank):
+                m[i, r] += v * b[j, r] * c[k, r]
+    return m
+
+
+def _mttkrp_example_args() -> tuple:
+    offsets = np.array([0, 1, 2], dtype=np.int64)
+    jj = np.array([0, 1], dtype=np.int64)
+    kk = np.array([1, 0], dtype=np.int64)
+    vals = np.array([1.0, 2.0])
+    return offsets, jj, kk, vals, np.ones((2, 2)), np.ones((2, 2))
+
+
+register_jit_warmup("mttkrp", _mttkrp_scalar, _mttkrp_example_args)
+
+
 def spmttkrp_reference(
     tensor: SparseTensor3, b: np.ndarray, c: np.ndarray
 ) -> np.ndarray:
     """Vectorized NumPy oracle."""
     b, c = _check_factors(tensor, b, c)
-    m = np.zeros((tensor.shape[0], b.shape[1]))
-    contrib = tensor.values[:, None] * b[tensor.j] * c[tensor.k]
-    np.add.at(m, tensor.i, contrib)
-    return m
+    return _mttkrp_arrays(
+        tensor.slice_offsets(), tensor.j, tensor.k, tensor.values, b, c
+    )
 
 
 def spmttkrp(
@@ -138,7 +188,20 @@ def spmttkrp_driver(problem, rt: Runtime) -> AppResult:
         return body, lambda: m
 
     output, stats = rt.run_launch(
-        sched, costs, compute=compute, kernel=kernel, extras={"app": "spmttkrp"}
+        sched,
+        costs,
+        compute=compute,
+        kernel=kernel,
+        compiled=CompiledKernel(
+            label="mttkrp",
+            args=(
+                tensor.slice_offsets(), tensor.j, tensor.k, tensor.values, b, c,
+            ),
+            vector_fn=_mttkrp_arrays,
+            scalar_fn=_mttkrp_scalar,
+        ),
+        kernel_label="mttkrp",
+        extras={"app": "spmttkrp"},
     )
     return AppResult(output=output, stats=stats, schedule=sched.name)
 

@@ -17,7 +17,15 @@ import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
 from ..core.work import WorkSpec
-from ..engine import AppSpec, Runtime, input_vector, register_app, run_app
+from ..engine import (
+    AppSpec,
+    CompiledKernel,
+    Runtime,
+    input_vector,
+    register_app,
+    register_jit_warmup,
+    run_app,
+)
 from ..gpusim.arch import GpuSpec
 from ..sparse.csr import CsrMatrix
 from .common import AppResult, check_dense_vector, spmv_costs, tile_charges
@@ -25,15 +33,44 @@ from .common import AppResult, check_dense_vector, spmv_costs, tile_charges
 __all__ = ["spmv", "spmv_reference", "spmv_driver"]
 
 
+def _spmv_arrays(row_offsets, col_indices, values, x):
+    """The whole SpMV over flat arrays (shared by oracle and engines)."""
+    num_rows = row_offsets.shape[0] - 1
+    y = np.zeros(num_rows)
+    row_ids = np.repeat(
+        np.arange(num_rows, dtype=np.int64), np.diff(row_offsets)
+    )
+    np.add.at(y, row_ids, values * x[col_indices])
+    return y
+
+
+def _spmv_scalar(row_offsets, col_indices, values, x):
+    """Flat-loop SpMV (jit-able); float ops in the same order as
+    :func:`_spmv_arrays`' scatter-add, so results agree bit-for-bit."""
+    num_rows = row_offsets.shape[0] - 1
+    y = np.zeros(num_rows)
+    for row in range(num_rows):
+        acc = 0.0
+        for nz in range(row_offsets[row], row_offsets[row + 1]):
+            acc += values[nz] * x[col_indices[nz]]
+        y[row] = acc
+    return y
+
+
+def _spmv_example_args() -> tuple:
+    offsets = np.array([0, 1, 2], dtype=np.int64)
+    cols = np.array([0, 1], dtype=np.int64)
+    vals = np.array([1.0, 2.0])
+    return offsets, cols, vals, np.array([1.0, 1.0])
+
+
+register_jit_warmup("spmv", _spmv_scalar, _spmv_example_args)
+
+
 def spmv_reference(matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:
     """Pure NumPy oracle (no scheduling, no simulation)."""
     x = check_dense_vector(x, matrix.num_cols)
-    y = np.zeros(matrix.num_rows)
-    row_ids = np.repeat(
-        np.arange(matrix.num_rows, dtype=np.int64), matrix.row_lengths()
-    )
-    np.add.at(y, row_ids, matrix.values * x[matrix.col_indices])
-    return y
+    return _spmv_arrays(matrix.row_offsets, matrix.col_indices, matrix.values, x)
 
 
 def spmv(
@@ -133,6 +170,13 @@ def spmv_driver(problem, rt: Runtime) -> AppResult:
         costs,
         compute=compute,
         kernel=kernel,
+        compiled=CompiledKernel(
+            label="spmv",
+            args=(matrix.row_offsets, matrix.col_indices, matrix.values, x),
+            vector_fn=_spmv_arrays,
+            scalar_fn=_spmv_scalar,
+        ),
+        kernel_label="spmv",
         extras={"app": "spmv", "locality": locality},
     )
     return AppResult(output=output, stats=stats, schedule=sched.name)

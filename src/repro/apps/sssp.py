@@ -15,13 +15,73 @@ from types import SimpleNamespace
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
-from ..engine import AppSpec, Runtime, register_app, run_app
+from ..engine import (
+    AppSpec,
+    CompiledKernel,
+    Runtime,
+    register_app,
+    register_jit_warmup,
+    run_app,
+)
 from ..gpusim.arch import GpuSpec
 from ..sparse.graph import CsrGraph
 from .common import AppResult
 from .traversal import graph_sweep_problem, run_frontier_loop
 
 __all__ = ["sssp", "sssp_reference", "sssp_driver"]
+
+
+def _sssp_relax_arrays(edge_sources, edge_targets, edge_weights, dist, n):
+    """One SSSP advance over the expanded edge frontier (vectorized).
+
+    Mutates ``dist`` in place (the atomicMin of Listing 5) and returns
+    the improved-vertex mask.
+    """
+    candidate = dist[edge_sources] + edge_weights
+    before = dist[edge_targets].copy()
+    np.minimum.at(dist, edge_targets, candidate)
+    improved = dist[edge_targets] < before
+    next_mask = np.zeros(n, dtype=bool)
+    next_mask[edge_targets[improved]] = True
+    return next_mask
+
+
+def _sssp_relax_scalar(edge_sources, edge_targets, edge_weights, dist, n):
+    """Flat-loop SSSP advance (jit-able).
+
+    Three passes mirror the vectorized form's dataflow exactly:
+    candidates and "before" distances are snapshotted from the
+    pre-update ``dist`` (a frontier vertex may also be a target this
+    iteration), the mins apply in edge order (``minimum.at``'s
+    sequential semantics), and the mask derives from the post-update
+    distances -- bit-for-bit equal to :func:`_sssp_relax_arrays`.
+    """
+    num_edges = edge_sources.shape[0]
+    candidate = np.empty(num_edges)
+    before = np.empty(num_edges)
+    for e in range(num_edges):
+        candidate[e] = dist[edge_sources[e]] + edge_weights[e]
+        before[e] = dist[edge_targets[e]]
+    for e in range(num_edges):
+        t = edge_targets[e]
+        if candidate[e] < dist[t]:
+            dist[t] = candidate[e]
+    next_mask = np.zeros(n, dtype=np.bool_)
+    for e in range(num_edges):
+        if dist[edge_targets[e]] < before[e]:
+            next_mask[edge_targets[e]] = True
+    return next_mask
+
+
+def _sssp_example_args() -> tuple:
+    sources = np.array([0, 0], dtype=np.int64)
+    targets = np.array([1, 2], dtype=np.int64)
+    weights = np.array([1.0, 2.0])
+    dist = np.array([0.0, np.inf, np.inf])
+    return sources, targets, weights, dist, 3
+
+
+register_jit_warmup("sssp", _sssp_relax_scalar, _sssp_example_args)
 
 
 def sssp_reference(graph: CsrGraph, source: int) -> np.ndarray:
@@ -98,13 +158,9 @@ def sssp_driver(problem, rt: Runtime) -> AppResult:
 
     def relax(frontier, edge_sources, edge_targets, edge_weights):
         # Listing 5's body, vectorized: atomicMin(dist[neighbor], ...)
-        candidate = dist[edge_sources] + edge_weights
-        before = dist[edge_targets].copy()
-        np.minimum.at(dist, edge_targets, candidate)
-        improved = dist[edge_targets] < before
-        next_mask = np.zeros(n, dtype=bool)
-        next_mask[edge_targets[improved]] = True  # out_frontier[neighbor]
-        return next_mask
+        return _sssp_relax_arrays(
+            edge_sources, edge_targets, edge_weights, dist, n
+        )
 
     def relax_edge(ctx, src, dst, weight, next_mask):
         # Scalar Listing 5 body: atomicMin, then flag on improvement.
@@ -113,11 +169,21 @@ def sssp_driver(problem, rt: Runtime) -> AppResult:
         if candidate < old:
             next_mask[dst] = True
 
+    def make_compiled(iteration, frontier, edge_sources, edge_targets,
+                      edge_weights):
+        return CompiledKernel(
+            label="advance",
+            args=(edge_sources, edge_targets, edge_weights, dist, n),
+            vector_fn=_sssp_relax_arrays,
+            scalar_fn=_sssp_relax_scalar,
+        )
+
     iterations, stats = run_frontier_loop(
         graph,
         source,
         relax,
         relax_edge=relax_edge,
+        make_compiled=make_compiled,
         rt=rt,
         max_iterations=max_iterations,
     )

@@ -103,6 +103,7 @@ def run_frontier_loop(
     relax,
     *,
     relax_edge=None,
+    make_compiled=None,
     rt: Runtime | None = None,
     schedule: str | Schedule = "group_mapped",
     spec: GpuSpec = V100,
@@ -122,6 +123,13 @@ def run_frontier_loop(
     the same relaxation, consumed one edge at a time by the SIMT engine's
     interpreted kernel; it must mark improved vertices in ``next_mask``.
     Algorithms that omit it run on the vector engine only.
+
+    ``make_compiled(iteration, frontier, edge_sources, edge_targets,
+    edge_weights)`` builds the iteration's
+    :class:`~repro.engine.compiled.CompiledKernel` for the compiled
+    engine; the per-iteration factory exists because each advance closes
+    over a fresh edge expansion.  Kernels are labelled ``"advance"`` for
+    per-kernel engine overrides.
 
     ``rt`` carries the engine/schedule/device selection; when omitted, a
     vector-engine runtime is built from the legacy keyword arguments.
@@ -196,11 +204,19 @@ def run_frontier_loop(
 
                 return body, lambda: next_mask
 
+        compiled = None
+        if make_compiled is not None:
+            compiled = make_compiled(
+                it, frontier, edge_sources, edge_targets, edge_weights
+            )
+
         next_mask, stats = rt.run_launch(
             sched,
             costs,
             compute=compute,
             kernel=kernel,
+            compiled=compiled,
+            kernel_label="advance",
             extras={"app": "traversal", "iteration": it},
         )
         total_stats = stats if total_stats is None else total_stats + stats

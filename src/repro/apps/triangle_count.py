@@ -14,7 +14,14 @@ import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule, WorkCosts
 from ..core.work import WorkSpec
-from ..engine import AppSpec, Runtime, register_app, run_app
+from ..engine import (
+    AppSpec,
+    CompiledKernel,
+    Runtime,
+    register_app,
+    register_jit_warmup,
+    run_app,
+)
 from ..gpusim.arch import GpuSpec
 from ..sparse.csr import CsrMatrix
 from .common import AppResult, tile_charges
@@ -45,6 +52,92 @@ def _upper_triangle(adjacency: CsrMatrix) -> CsrMatrix:
     return CsrMatrix.from_arrays(
         offsets, sel_cols, np.ones(sel_cols.size), adjacency.shape
     )
+
+
+def _triangle_count_arrays(row_offsets, col_indices, num_rows, num_cols):
+    """Vectorized intersection counting over the upper triangle's arrays.
+
+    A triangle (u, v, w) with u < v < w is an edge (u, v) plus a wedge w
+    in N(v) with (u, w) also an edge.  Expand every (edge, wedge)
+    candidate and test membership with one searchsorted over the
+    linearized (row, col) keys -- sorted because rows are sorted and
+    each row's neighbor list is sorted-unique.  O(P log E) for P
+    candidate pairs, no per-row Python loop.
+    """
+    offs, cols = row_offsets, col_indices
+    if cols.size == 0:
+        return 0
+    n = np.int64(num_cols)
+    deg = np.diff(offs)
+    u_of_edge = np.repeat(np.arange(num_rows, dtype=np.int64), deg)
+    wedge_counts = deg[cols]  # |N(v)| per edge (u, v)
+    if int(wedge_counts.sum()) == 0:
+        return 0
+    keys = u_of_edge * n + cols
+    # Chunk the edge range so peak scratch stays bounded: heavy-tailed
+    # graphs expand to Theta(sum_of_wedges) candidates, which at full
+    # corpus scale must not materialize all at once.
+    budget = 1 << 22
+    count = 0
+    bounds = np.concatenate(([0], np.cumsum(wedge_counts)))
+    lo = 0
+    while lo < wedge_counts.size:
+        hi = int(np.searchsorted(bounds, bounds[lo] + budget, side="left"))
+        hi = max(hi, lo + 1)
+        wc = wedge_counts[lo:hi]
+        total = int(wc.sum())
+        if total == 0:
+            lo = hi
+            continue
+        starts = np.zeros(wc.size, dtype=np.int64)
+        np.cumsum(wc[:-1], out=starts[1:])
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts, wc)
+        w = cols[np.repeat(offs[cols[lo:hi]], wc) + within]
+        queries = np.repeat(u_of_edge[lo:hi], wc) * n + w
+        pos = np.searchsorted(keys, queries)
+        pos_clipped = np.minimum(pos, keys.size - 1)
+        found = (pos < keys.size) & (keys[pos_clipped] == queries)
+        count += int(found.sum())
+        lo = hi
+    return count
+
+
+def _triangle_count_scalar(row_offsets, col_indices, num_rows, num_cols):
+    """Flat-loop triangle count (jit-able): classic two-pointer sorted
+    intersection per upper-triangle edge.  Integer-exact, so it agrees
+    with :func:`_triangle_count_arrays` by construction."""
+    count = 0
+    for u in range(num_rows):
+        for e in range(row_offsets[u], row_offsets[u + 1]):
+            v = col_indices[e]
+            i = row_offsets[u]
+            j = row_offsets[v]
+            i_end = row_offsets[u + 1]
+            j_end = row_offsets[v + 1]
+            while i < i_end and j < j_end:
+                cu = col_indices[i]
+                cv = col_indices[j]
+                if cu == cv:
+                    count += 1
+                    i += 1
+                    j += 1
+                elif cu < cv:
+                    i += 1
+                else:
+                    j += 1
+    return count
+
+
+def _triangle_count_example_args() -> tuple:
+    # The 3-cycle's upper triangle: edges (0,1), (0,2), (1,2).
+    offsets = np.array([0, 2, 3, 3], dtype=np.int64)
+    cols = np.array([1, 2, 2], dtype=np.int64)
+    return offsets, cols, 3, 3
+
+
+register_jit_warmup(
+    "intersect", _triangle_count_scalar, _triangle_count_example_args
+)
 
 
 def triangle_count_reference(adjacency: CsrMatrix) -> int:
@@ -119,51 +212,9 @@ def triangle_count_driver(problem, rt: Runtime) -> AppResult:
     sched = rt.schedule_for(work, matrix=upper, kernel="intersect", costs=costs)
 
     def compute() -> int:
-        # Vectorized intersection counting: a triangle (u, v, w) with
-        # u < v < w is an edge (u, v) plus a wedge w in N(v) with
-        # (u, w) also an edge.  Expand every (edge, wedge) candidate and
-        # test membership with one searchsorted over the linearized
-        # (row, col) keys -- sorted because rows are sorted and each
-        # row's neighbor list is sorted-unique.  O(P log E) for P
-        # candidate pairs, no per-row Python loop.
-        offs, cols = upper.row_offsets, upper.col_indices
-        if cols.size == 0:
-            return 0
-        n = np.int64(upper.num_cols)
-        deg = np.diff(offs)
-        u_of_edge = np.repeat(np.arange(upper.num_rows, dtype=np.int64), deg)
-        wedge_counts = deg[cols]  # |N(v)| per edge (u, v)
-        if int(wedge_counts.sum()) == 0:
-            return 0
-        keys = u_of_edge * n + cols
-        # Chunk the edge range so peak scratch stays bounded: heavy-tailed
-        # graphs expand to Theta(sum_of_wedges) candidates, which at full
-        # corpus scale must not materialize all at once.
-        budget = 1 << 22
-        count = 0
-        bounds = np.concatenate(([0], np.cumsum(wedge_counts)))
-        lo = 0
-        while lo < wedge_counts.size:
-            hi = int(
-                np.searchsorted(bounds, bounds[lo] + budget, side="left")
-            )
-            hi = max(hi, lo + 1)
-            wc = wedge_counts[lo:hi]
-            total = int(wc.sum())
-            if total == 0:
-                lo = hi
-                continue
-            starts = np.zeros(wc.size, dtype=np.int64)
-            np.cumsum(wc[:-1], out=starts[1:])
-            within = np.arange(total, dtype=np.int64) - np.repeat(starts, wc)
-            w = cols[np.repeat(offs[cols[lo:hi]], wc) + within]
-            queries = np.repeat(u_of_edge[lo:hi], wc) * n + w
-            pos = np.searchsorted(keys, queries)
-            pos_clipped = np.minimum(pos, keys.size - 1)
-            found = (pos < keys.size) & (keys[pos_clipped] == queries)
-            count += int(found.sum())
-            lo = hi
-        return count
+        return _triangle_count_arrays(
+            upper.row_offsets, upper.col_indices, upper.num_rows, upper.num_cols
+        )
 
     def kernel():
         total = np.zeros(1)
@@ -190,6 +241,16 @@ def triangle_count_driver(problem, rt: Runtime) -> AppResult:
         costs,
         compute=compute,
         kernel=kernel,
+        compiled=CompiledKernel(
+            label="intersect",
+            args=(
+                upper.row_offsets, upper.col_indices,
+                upper.num_rows, upper.num_cols,
+            ),
+            vector_fn=_triangle_count_arrays,
+            scalar_fn=_triangle_count_scalar,
+        ),
+        kernel_label="intersect",
         extras={"app": "triangle_count"},
     )
     return AppResult(

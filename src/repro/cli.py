@@ -13,6 +13,7 @@ CLI reproduces both entry points::
     python -m repro datasets
     python -m repro apps
     python -m repro schedules
+    python -m repro engines
     python -m repro table1
 
 Execution selection is one :class:`~repro.engine.context.ExecutionContext`
@@ -80,12 +81,25 @@ def _check_kernels(kernels, app: str) -> str | None:
     return None
 
 
-def _engine_arg(parser) -> None:
+def _check_engine(engine: str) -> str | None:
+    """Validate an engine name; return an error message or ``None``.
+
+    Free-form (not argparse ``choices``) so unknown names get the same
+    did-you-mean diagnostics as schedules and kernels.
+    """
     from .engine import available_engines
 
+    known = available_engines()
+    if engine not in known:
+        return f"unknown engine {engine!r}{_did_you_mean(engine, known)}"
+    return None
+
+
+def _engine_arg(parser) -> None:
     parser.add_argument(
-        "--engine", default="vector", choices=available_engines(),
-        help="registered execution engine (default: vector)",
+        "--engine", default="vector",
+        help="registered execution engine (see 'repro engines'; "
+             "default: vector)",
     )
     parser.add_argument(
         "--gpus", type=int, default=1,
@@ -174,6 +188,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="print the Table 1 LoC comparison")
 
     sub.add_parser("schedules", help="list registered schedules")
+
+    sub.add_parser("engines", help="list registered execution engines")
     return parser
 
 
@@ -194,6 +210,10 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
             f"{_did_you_mean(args.schedule, known)}",
             file=sys.stderr,
         )
+        return 2
+    error = _check_engine(args.engine)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
 
     if args.mtx is not None:
@@ -247,6 +267,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         kernels += sorted(get_app(args.app).baselines)
 
     error = _check_kernels(kernels, args.app)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    error = _check_engine(args.engine)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
@@ -341,6 +365,15 @@ def _cmd_schedules(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(_args: argparse.Namespace) -> int:
+    from .engine import available_engines, engine_description
+
+    print(f"{'name':<16} description")
+    for name in available_engines():
+        print(f"{name:<16} {engine_description(name)}")
+    return 0
+
+
 _COMMANDS = {
     "spmv": _cmd_spmv,
     "sweep": _cmd_sweep,
@@ -348,6 +381,7 @@ _COMMANDS = {
     "apps": _cmd_apps,
     "table1": _cmd_table1,
     "schedules": _cmd_schedules,
+    "engines": _cmd_engines,
 }
 
 

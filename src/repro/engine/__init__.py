@@ -67,11 +67,26 @@ from .dispatch import (
     EngineError,
     Runtime,
     SimtEngine,
+    UnknownEngineError,
     VectorEngine,
     available_engines,
+    engine_description,
+    ensure_known_engine,
     get_engine,
     register_engine,
     resolve_schedule,
+)
+from .compiled import (
+    CompilationCache,
+    CompiledEngine,
+    CompiledKernel,
+    clear_compilation_cache,
+    compilation_cache,
+    compilation_cache_stats,
+    numba_available,
+    precompile_kernels,
+    register_jit_warmup,
+    registered_warmups,
 )
 from .multi_gpu import MultiGpuEngine
 from .context import DEFAULT_CONTEXT, ExecutionContext
@@ -123,11 +138,24 @@ __all__ = [
     "ENGINES",
     "Engine",
     "EngineError",
+    "UnknownEngineError",
     "Runtime",
     "SimtEngine",
     "VectorEngine",
     "MultiGpuEngine",
+    "CompiledEngine",
+    "CompiledKernel",
+    "CompilationCache",
+    "compilation_cache",
+    "compilation_cache_stats",
+    "clear_compilation_cache",
+    "numba_available",
+    "precompile_kernels",
+    "register_jit_warmup",
+    "registered_warmups",
     "available_engines",
+    "engine_description",
+    "ensure_known_engine",
     "get_engine",
     "register_engine",
     "resolve_schedule",

@@ -1,0 +1,560 @@
+"""The compiled engine: JIT the hot loop, keep the schedule's geometry.
+
+:class:`~repro.engine.dispatch.SimtEngine` is the correctness ground
+truth, but it *interprets* every kernel body thread-by-thread in Python
+-- at corpus scale that interpretation dominates the sweep and no layer
+of caching (plans, problems, shm datasets, warm pools) can remove it.
+This module removes the interpreter from the loop:
+
+* Applications declare a :class:`CompiledKernel` -- a flat *scalar*
+  kernel over plain arrays (jit-able: no closures over Python objects)
+  plus the equivalent vectorized NumPy function.  When :mod:`numba` is
+  importable the scalar body is ``njit``-compiled once per process;
+  otherwise the vectorized function runs, so the engine always exists.
+* The schedule still decides the launch: grid/block shape and the
+  per-thread work assignment are taken from the schedule's own iterator
+  view and *materialized* into per-thread (atoms, tile-visits) load
+  vectors -- vectorized per built-in schedule, generically probed for
+  custom ones -- then priced through the same
+  :func:`~repro.gpusim.cost_model.kernel_stats_from_thread_cycles` fold
+  the SIMT interpreter uses.  Schedule choice changes the compiled
+  loop structure exactly as it changes the interpreted one.
+* Materialized loads live in a process-wide bounded
+  :class:`CompilationCache` keyed on (kernel label, schedule identity,
+  dtype signature); hit/miss counters surface in every row's ``extras``
+  and :func:`precompile_kernels` is wired into the sweep worker
+  initializer so warm pools amortize JIT cost.
+
+The engine registers as ``"compiled"`` via
+:func:`~repro.engine.dispatch.register_engine`, so it flows through
+``ExecutionContext(engine="compiled")``, ``run_suite`` and the CLI
+``--engine`` untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.ranges import StepRange
+from ..core.schedule import Schedule
+from ..gpusim.cost_model import kernel_stats_from_thread_cycles
+from .dispatch import Engine, EngineError, register_engine
+from .plan_cache import work_fingerprint
+
+__all__ = [
+    "CompiledKernel",
+    "CompiledEngine",
+    "CompilationCache",
+    "compilation_cache",
+    "compilation_cache_stats",
+    "clear_compilation_cache",
+    "register_jit_warmup",
+    "precompile_kernels",
+    "registered_warmups",
+    "numba_available",
+]
+
+# Numba is an *optional* accelerator: the engine must exist (and produce
+# identical results) without it.  Tests monkeypatch this module global to
+# force either path.
+try:  # pragma: no cover - exercised via monkeypatch either way
+    import numba as _NUMBA  # type: ignore
+except Exception:  # pragma: no cover - the container has no numba
+    _NUMBA = None
+
+
+def numba_available() -> bool:
+    """Whether the JIT path is active (module-global, monkeypatchable)."""
+    return _NUMBA is not None
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """One jit-able kernel declaration attached to a launch.
+
+    Attributes
+    ----------
+    label:
+        Kernel identity within the application (``"spmv"``, spgemm's
+        ``"count"``/``"compute"``, the frontier loop's ``"advance"``).
+        Keys the compilation cache together with the schedule identity.
+    args:
+        Flat argument tuple -- plain ndarrays and scalars only, so the
+        scalar body stays compilable (no closures over Python objects in
+        the hot loop).
+    vector_fn:
+        ``vector_fn(*args) -> output``: the vectorized NumPy evaluation,
+        bit-for-bit identical to the application's ``compute()`` (by
+        construction: apps share one implementation between both).
+    scalar_fn:
+        Optional ``scalar_fn(*args) -> output`` written as flat loops
+        over the same arguments, the body ``numba.njit`` compiles.
+        ``None`` keeps the kernel on the vectorized path even when numba
+        is present (e.g. output shapes the scalar form cannot build).
+    """
+
+    label: str
+    args: tuple
+    vector_fn: Callable[..., Any]
+    scalar_fn: Callable[..., Any] | None = None
+
+    def dtype_signature(self) -> tuple:
+        """Hashable dtype/shape-rank signature of the argument tuple."""
+        sig = []
+        for a in self.args:
+            if isinstance(a, np.ndarray):
+                sig.append((a.dtype.str, a.ndim))
+            else:
+                sig.append(type(a).__name__)
+        return tuple(sig)
+
+
+# ----------------------------------------------------------------------
+# Function compilation: one njit per scalar body per process.
+# ----------------------------------------------------------------------
+_FN_CACHE: dict[Callable, Callable] = {}
+
+
+def _compiled_fn(kernel: CompiledKernel) -> tuple[Callable, str]:
+    """Resolve the callable for one kernel: ``(fn, "numba"|"numpy")``.
+
+    The njit wrapper is cached per scalar function object, so each
+    (kernel body, dtype signature) pair compiles once per process --
+    numba's own dispatcher handles per-signature specialization.
+    """
+    if _NUMBA is None or kernel.scalar_fn is None:
+        return kernel.vector_fn, "numpy"
+    fn = _FN_CACHE.get(kernel.scalar_fn)
+    if fn is None:
+        fn = _NUMBA.njit(kernel.scalar_fn)
+        _FN_CACHE[kernel.scalar_fn] = fn
+    return fn, "numba"
+
+
+# ----------------------------------------------------------------------
+# Per-thread load materialization.
+#
+# The compiled engine does not walk the schedule's iterator per thread
+# (that is exactly the interpretation being removed); instead each
+# built-in schedule's assignment is reproduced in closed form as two
+# length-num_threads vectors: atoms consumed and tiles visited per
+# thread.  Both agree exactly with a generic probe of the schedule's
+# ``tiles()``/``atoms()`` view (asserted in tests), which remains the
+# fallback for custom schedules.
+# ----------------------------------------------------------------------
+def _loads_thread_mapped(sched: Schedule) -> tuple[np.ndarray, np.ndarray]:
+    n_threads = sched.launch.num_threads
+    counts = sched.work.atoms_per_tile().astype(np.float64)
+    owner = np.arange(sched.work.num_tiles, dtype=np.int64) % n_threads
+    atoms = np.bincount(owner, weights=counts, minlength=n_threads)
+    visits = np.bincount(owner, minlength=n_threads).astype(np.float64)
+    return atoms, visits
+
+
+def _lane_split(counts: np.ndarray, group_size: int) -> np.ndarray:
+    """Per-(tile, lane) atom counts for a lane-strided group walk.
+
+    Lane ``r`` of a group consumes atoms ``lo + r, lo + r + g, ...`` of
+    each tile: ``ceil(max(0, count - r) / g)`` atoms.
+    """
+    lanes = np.arange(group_size, dtype=np.float64)
+    return np.ceil(np.maximum(0.0, counts[:, None] - lanes) / group_size)
+
+
+def _grouped_loads(
+    group_size: int,
+    n_groups: int,
+    n_threads: int,
+    counts: np.ndarray,
+    group_of_tile: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold tile->group assignment into per-thread (atoms, visits).
+
+    Threads are grouped contiguously by global id (``gtid // g``); every
+    lane of a group visits every tile of the group.
+    """
+    per_lane = _lane_split(counts.astype(np.float64), group_size)
+    atoms_gl = np.zeros((n_groups, group_size))
+    np.add.at(atoms_gl, group_of_tile, per_lane)
+    visits_g = np.bincount(group_of_tile, minlength=n_groups).astype(np.float64)
+    atoms = atoms_gl.reshape(-1)
+    visits = np.repeat(visits_g, group_size)
+    # Launches whose thread count is not an exact multiple of the group
+    # size leave a trailing partial group; clip/pad to the true width.
+    if atoms.size < n_threads:
+        atoms = np.pad(atoms, (0, n_threads - atoms.size))
+        visits = np.pad(visits, (0, n_threads - visits.size))
+    return atoms[:n_threads], visits[:n_threads]
+
+
+def _loads_group_per_tile(sched: Schedule) -> tuple[np.ndarray, np.ndarray]:
+    """warp_mapped / block_mapped: strided tile->group round-robin."""
+    g = sched.group_size()
+    n_groups = sched._num_groups()
+    counts = sched.work.atoms_per_tile()
+    group_of_tile = np.arange(sched.work.num_tiles, dtype=np.int64) % n_groups
+    return _grouped_loads(
+        g, n_groups, sched.launch.num_threads, counts, group_of_tile
+    )
+
+
+def _loads_group_mapped(sched: Schedule) -> tuple[np.ndarray, np.ndarray]:
+    """group_mapped: contiguous tile chunks per group."""
+    g = sched.group_size  # attribute, not method, on GroupMappedSchedule
+    n_groups = sched.num_groups()
+    tpg = sched.tiles_per_group()
+    counts = sched.work.atoms_per_tile()
+    group_of_tile = np.minimum(
+        np.arange(sched.work.num_tiles, dtype=np.int64) // max(1, tpg),
+        n_groups - 1,
+    )
+    return _grouped_loads(
+        g, n_groups, sched.launch.num_threads, counts, group_of_tile
+    )
+
+
+def _loads_lrb(sched: Schedule) -> tuple[np.ndarray, np.ndarray]:
+    """lrb: warp-per-tile round-robin over the bin-sorted permutation."""
+    g = sched.spec.warp_size
+    n_groups = sched._num_groups()
+    counts = sched.work.atoms_per_tile()[sched.permutation]
+    group_of_tile = np.arange(sched.work.num_tiles, dtype=np.int64) % n_groups
+    return _grouped_loads(
+        g, n_groups, sched.launch.num_threads, counts, group_of_tile
+    )
+
+
+def _loads_merge_path(sched: Schedule) -> tuple[np.ndarray, np.ndarray]:
+    tile_bounds = sched._tile_bounds
+    atom_bounds = sched._atom_bounds
+    offsets = sched.work.tile_offsets
+    num_tiles = sched.work.num_tiles
+    i1 = tile_bounds[1:]
+    j1 = atom_bounds[1:]
+    # A thread additionally touches a partial tail tile when its atom
+    # range extends past the last finished tile's start.
+    partial = (i1 < num_tiles) & (j1 > offsets[np.minimum(i1, num_tiles)])
+    visits = (i1 - tile_bounds[:-1] + partial).astype(np.float64)
+    atoms = np.diff(atom_bounds).astype(np.float64)
+    return atoms, visits
+
+
+def _loads_nonzero_split(sched: Schedule) -> tuple[np.ndarray, np.ndarray]:
+    j0 = sched._atom_bounds[:-1]
+    j1 = sched._atom_bounds[1:]
+    atoms = (j1 - j0).astype(np.float64)
+    nonempty = j1 > j0
+    first = sched._tile_at_bound[:-1]
+    last = sched.work.tile_of_atom(np.maximum(j1 - 1, 0))
+    visits = np.where(nonempty, last - first + 1, 0).astype(np.float64)
+    return atoms, visits
+
+
+def _loads_dynamic_queue(sched: Schedule) -> tuple[np.ndarray, np.ndarray]:
+    """dynamic_queue under the framework's sequential linearization.
+
+    Threads drain a shared chunk queue; the interpreter runs thread 0 to
+    completion first, so it pops every chunk -- the compiled engine
+    reproduces that linearization (the planner view prices the balanced
+    assignment separately).
+    """
+    n_threads = sched.launch.num_threads
+    atoms = np.zeros(n_threads)
+    visits = np.zeros(n_threads)
+    atoms[0] = float(sched.work.num_atoms)
+    visits[0] = float(sched.work.num_tiles)
+    return atoms, visits
+
+
+_LOAD_BUILDERS: dict[str, Callable[[Schedule], tuple[np.ndarray, np.ndarray]]] = {
+    "thread_mapped": _loads_thread_mapped,
+    "warp_mapped": _loads_group_per_tile,
+    "block_mapped": _loads_group_per_tile,
+    "group_mapped": _loads_group_mapped,
+    "lrb": _loads_lrb,
+    "merge_path": _loads_merge_path,
+    "nonzero_split": _loads_nonzero_split,
+    "dynamic_queue": _loads_dynamic_queue,
+}
+
+
+class _ProbeCtx:
+    """Minimal ThreadCtx stand-in for probing a schedule's iterator view."""
+
+    __slots__ = ("thread_idx", "block_idx", "block_dim", "grid_dim", "spec")
+
+    def __init__(self, thread_idx, block_idx, block_dim, grid_dim, spec):
+        self.thread_idx = thread_idx
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.spec = spec
+
+    @property
+    def global_thread_id(self) -> int:
+        return self.block_idx * self.block_dim + self.thread_idx
+
+    @property
+    def num_threads(self) -> int:
+        return self.block_dim * self.grid_dim
+
+    @property
+    def warp_size(self) -> int:
+        return self.spec.warp_size
+
+    @property
+    def lane_id(self) -> int:
+        return self.thread_idx % self.spec.warp_size
+
+    @property
+    def warp_id(self) -> int:
+        return self.thread_idx // self.spec.warp_size
+
+    @property
+    def global_warp_id(self) -> int:
+        return self.global_thread_id // self.spec.warp_size
+
+
+def _generic_loads(sched: Schedule) -> tuple[np.ndarray, np.ndarray]:
+    """Probe ``tiles()``/``atoms()`` thread-by-thread (custom schedules).
+
+    One interpreted pass over the *assignment* only (no kernel body), in
+    launch order -- the same linearization the SIMT interpreter applies,
+    so stateful schedules (the dynamic queue) agree.
+    """
+    launch, spec = sched.launch, sched.spec
+    n_threads = launch.num_threads
+    atoms = np.zeros(n_threads)
+    visits = np.zeros(n_threads)
+    reset = getattr(sched, "reset_queue", None)
+    if reset is not None:
+        reset()
+    for block_idx in range(launch.grid_dim):
+        for thread_idx in range(launch.block_dim):
+            ctx = _ProbeCtx(
+                thread_idx, block_idx, launch.block_dim, launch.grid_dim, spec
+            )
+            t = ctx.global_thread_id
+            for tile in sched.tiles(ctx):
+                rng = sched.atoms(ctx, tile)
+                if not isinstance(rng, StepRange):  # pragma: no cover
+                    rng = list(rng)
+                atoms[t] += len(rng)
+                visits[t] += 1
+    if reset is not None:
+        reset()
+    return atoms, visits
+
+
+def materialize_loads(sched: Schedule) -> tuple[np.ndarray, np.ndarray]:
+    """Per-thread (atoms, tile visits) under ``sched``'s assignment."""
+    builder = _LOAD_BUILDERS.get(sched.name)
+    if builder is not None:
+        try:
+            return builder(sched)
+        except AttributeError:
+            # A subclass renamed the internals the closed form reads;
+            # fall back to probing its actual iterator view.
+            pass
+    return _generic_loads(sched)
+
+
+# ----------------------------------------------------------------------
+# Compilation cache
+# ----------------------------------------------------------------------
+#: Environment knob bounding the load cache (entries, LRU-evicted).
+CACHE_ENTRIES_ENV = "REPRO_COMPILED_CACHE_ENTRIES"
+_DEFAULT_CACHE_ENTRIES = 256
+
+
+class CompilationCache:
+    """Bounded LRU of materialized per-thread loads.
+
+    Keyed on (kernel label, schedule identity -- name, device, launch
+    geometry, work fingerprint, construction options -- and the argument
+    dtype signature): everything that changes the compiled loop
+    structure and nothing that doesn't, so steady-state sweeps hit.
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        if max_entries is None:
+            max_entries = int(
+                os.environ.get(CACHE_ENTRIES_ENV, _DEFAULT_CACHE_ENTRIES)
+            )
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(sched: Schedule, kernel: CompiledKernel) -> tuple | None:
+        options = getattr(sched, "construction_options", {})
+        try:
+            options_key = tuple(sorted(options.items()))
+            key = (
+                kernel.label,
+                sched.name,
+                sched.spec.name,
+                sched.launch.grid_dim,
+                sched.launch.block_dim,
+                work_fingerprint(sched.work),
+                options_key,
+                kernel.dtype_signature(),
+            )
+            hash(key)
+        except TypeError:
+            return None  # unhashable options: plan live, count a miss
+        return key
+
+    def loads(self, sched: Schedule, kernel: CompiledKernel):
+        """Cached (atoms, visits) for one launch; counts hit or miss."""
+        key = self.key_for(sched, kernel)
+        if key is not None:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached[0], cached[1], "hit"
+        self.misses += 1
+        atoms, visits = materialize_loads(sched)
+        if key is not None:
+            while len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+            self._entries[key] = (atoms, visits)
+        return atoms, visits, "miss"
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_CACHE = CompilationCache()
+
+
+def compilation_cache() -> CompilationCache:
+    """The process-wide compilation cache."""
+    return _CACHE
+
+
+def compilation_cache_stats() -> dict:
+    """Counters of the process-wide cache (tests, diagnostics)."""
+    return {
+        "entries": len(_CACHE),
+        "hits": _CACHE.hits,
+        "misses": _CACHE.misses,
+    }
+
+
+def clear_compilation_cache() -> None:
+    """Reset the process-wide cache and its counters."""
+    _CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# JIT warm-up registry: apps register their scalar bodies with tiny
+# example arguments; pool workers precompile them once at startup so
+# steady-state sweeps never pay compilation latency inside a shard.
+# ----------------------------------------------------------------------
+_WARMUPS: dict[str, tuple[Callable, Callable[[], tuple]]] = {}
+
+
+def register_jit_warmup(
+    label: str, scalar_fn: Callable, example_args: Callable[[], tuple]
+) -> None:
+    """Declare one precompilable kernel body (idempotent re-register)."""
+    _WARMUPS[label] = (scalar_fn, example_args)
+
+
+def registered_warmups() -> tuple[str, ...]:
+    """Labels of every registered precompilable kernel."""
+    return tuple(sorted(_WARMUPS))
+
+
+def precompile_kernels(labels=None) -> int:
+    """njit-compile registered kernel bodies ahead of use.
+
+    Runs each body once on its tiny example arguments (numba compiles on
+    first call per signature).  A no-op without numba.  Returns the
+    number of bodies compiled.
+    """
+    if _NUMBA is None:
+        return 0
+    count = 0
+    for label in labels if labels is not None else registered_warmups():
+        entry = _WARMUPS.get(label)
+        if entry is None:
+            continue
+        scalar_fn, example_args = entry
+        fn = _FN_CACHE.get(scalar_fn)
+        if fn is None:
+            fn = _NUMBA.njit(scalar_fn)
+            _FN_CACHE[scalar_fn] = fn
+        fn(*example_args())
+        count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class CompiledEngine(Engine):
+    """JIT-compiled kernel execution with schedule-shaped timing.
+
+    Runs the application's :class:`CompiledKernel` -- ``numba.njit`` of
+    the flat scalar body when numba is importable, the vectorized NumPy
+    form otherwise -- and prices the launch by materializing the
+    schedule's per-thread work assignment into load vectors folded
+    through the interpreter's own cost model.  Results are bit-for-bit
+    equal to the ``vector`` engine; timings keep the schedule's launch
+    geometry and load balance.
+    """
+
+    name = "compiled"
+
+    def launch(self, sched, costs, *, compute=None, kernel=None, compiled=None,
+               extras=None, cache_key=None):
+        if compiled is None:
+            app = (extras or {}).get("app", "this application")
+            raise EngineError(
+                f"{app} does not declare a compiled kernel (pass compiled= "
+                f"to run_launch, or select the vector/simt engine)"
+            )
+        fn, jit_mode = _compiled_fn(compiled)
+        output = fn(*compiled.args)
+        atoms, visits, cache_status = _CACHE.loads(sched, compiled)
+        atom_c = costs.atom_total(sched.spec) + getattr(
+            sched, "abstraction_tax", 0.0
+        )
+        tile_c = costs.tile_cycles + sched.spec.costs.loop_overhead
+        thread_cycles = atoms * atom_c + visits * tile_c
+        stats = kernel_stats_from_thread_cycles(
+            thread_cycles,
+            sched.launch.grid_dim,
+            sched.launch.block_dim,
+            sched.spec,
+            setup_cycles=sched.setup_cycles(costs),
+            extras={
+                "schedule": sched.name,
+                "engine": "compiled",
+                "jit": jit_mode,
+                "compile_cache": cache_status,
+                "compile_cache_hits": _CACHE.hits,
+                "compile_cache_misses": _CACHE.misses,
+                **(extras or {}),
+            },
+        )
+        return output, stats
+
+
+register_engine("compiled", CompiledEngine)

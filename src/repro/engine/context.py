@@ -83,6 +83,14 @@ class ExecutionContext:
         ignored.
     partition:
         Inter-device partition strategy (``"merge_path"`` or ``"tiles"``).
+    engines:
+        Per-kernel engine overrides -- the engine-side mirror of
+        :class:`~repro.core.policy.PerKernelPolicy`: a mapping
+        ``{kernel_label: engine_name}`` routing individual launches of a
+        multi-kernel application (e.g. spgemm's ``"count"`` vs
+        ``"compute"`` passes) to different engines than the context's
+        default.  Stored as a sorted tuple of pairs so the context stays
+        hashable and picklable; a mapping is accepted and normalized.
     """
 
     engine: str | Engine = "vector"
@@ -94,6 +102,7 @@ class ExecutionContext:
     plan_store: str | None = None
     gpus: int = 1
     partition: str = "merge_path"
+    engines: tuple = ()
 
     def __post_init__(self):
         if isinstance(self.schedule_options, dict):
@@ -101,6 +110,10 @@ class ExecutionContext:
                 self,
                 "schedule_options",
                 tuple(sorted(self.schedule_options.items())),
+            )
+        if isinstance(self.engines, dict):
+            object.__setattr__(
+                self, "engines", tuple(sorted(self.engines.items()))
             )
         if self.policy is not None and not isinstance(self.policy, SchedulePolicy):
             object.__setattr__(self, "policy", as_policy(self.policy))
@@ -244,11 +257,16 @@ class ExecutionContext:
             launch=self.launch,
             schedule_options=self.options,
             policy=policy,
+            engines=dict(self.engines),
         )
 
     def describe(self) -> str:
         """One-line summary (CSV metadata, logs)."""
         parts = [f"engine={self.engine_name()}"]
+        if self.engines:
+            parts.append(
+                "engines=" + ",".join(f"{k}:{v}" for k, v in self.engines)
+            )
         if self.gpus > 1:
             parts.append(f"gpus={self.gpus}")
         parts.append(

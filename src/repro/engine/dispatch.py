@@ -48,12 +48,15 @@ from .plan_cache import PlanCache, global_plan_cache
 
 __all__ = [
     "EngineError",
+    "UnknownEngineError",
     "Engine",
     "VectorEngine",
     "SimtEngine",
     "register_engine",
     "available_engines",
     "get_engine",
+    "ensure_known_engine",
+    "engine_description",
     "Runtime",
     "resolve_schedule",
 ]
@@ -61,6 +64,14 @@ __all__ = [
 
 class EngineError(RuntimeError):
     """Raised when an engine cannot execute the requested launch."""
+
+
+class UnknownEngineError(EngineError, ValueError):
+    """An engine identifier that matches no registry entry.
+
+    Subclasses :class:`ValueError` too, so pre-registry callers catching
+    the old error class keep working.
+    """
 
 
 def resolve_schedule(
@@ -101,10 +112,18 @@ class Engine(ABC):
         *,
         compute: Callable[[], Any] | None = None,
         kernel: Callable[[], tuple[Callable, Callable[[], Any]]] | None = None,
+        compiled: Any | None = None,
         extras: dict | None = None,
         cache_key: tuple | None = None,
     ) -> tuple[Any, KernelStats]:
-        """Execute one launch; return ``(output, stats)``."""
+        """Execute one launch; return ``(output, stats)``.
+
+        ``compiled`` is the application's optional
+        :class:`~repro.engine.compiled.CompiledKernel` declaration; only
+        the compiled engine consumes it, the others ignore it (the same
+        way the vector engine ignores ``kernel`` and the SIMT engine
+        ignores ``compute``).
+        """
 
 
 class VectorEngine(Engine):
@@ -121,8 +140,8 @@ class VectorEngine(Engine):
     def __init__(self, plan_cache: PlanCache | None = None):
         self.plan_cache = global_plan_cache() if plan_cache is None else plan_cache
 
-    def launch(self, sched, costs, *, compute=None, kernel=None, extras=None,
-               cache_key=None):
+    def launch(self, sched, costs, *, compute=None, kernel=None, compiled=None,
+               extras=None, cache_key=None):
         if compute is None:
             raise EngineError("the vector engine requires a compute() callable")
         output = compute()
@@ -142,8 +161,8 @@ class SimtEngine(Engine):
 
     name = "simt"
 
-    def launch(self, sched, costs, *, compute=None, kernel=None, extras=None,
-               cache_key=None):
+    def launch(self, sched, costs, *, compute=None, kernel=None, compiled=None,
+               extras=None, cache_key=None):
         if kernel is None:
             app = (extras or {}).get("app", "this application")
             raise EngineError(f"{app} does not define a SIMT kernel body")
@@ -183,9 +202,10 @@ def register_engine(name: str, factory: Callable[..., Engine]) -> None:
 
 
 def _ensure_engines() -> None:
-    # Importing the package registers every built-in engine (the
-    # multi-GPU engine lives in its own module to keep this one lean).
-    from . import multi_gpu  # noqa: F401
+    # Importing the modules registers every built-in engine (the
+    # multi-GPU and compiled engines live in their own modules to keep
+    # this one lean).
+    from . import compiled, multi_gpu  # noqa: F401
 
 
 def available_engines() -> tuple[str, ...]:
@@ -194,21 +214,47 @@ def available_engines() -> tuple[str, ...]:
     return tuple(sorted(_ENGINE_REGISTRY))
 
 
+def ensure_known_engine(name: str) -> None:
+    """Fail fast on an unregistered engine name (with a suggestion).
+
+    Raises :class:`UnknownEngineError` listing :func:`available_engines`
+    -- the same validation :func:`get_engine` applies, available to
+    front-ends (CLI, harness) that want to reject a bad name before any
+    work is sharded out.
+    """
+    import difflib
+
+    _ensure_engines()
+    if name in _ENGINE_REGISTRY:
+        return
+    close = difflib.get_close_matches(name, available_engines(), n=3, cutoff=0.5)
+    hint = f" -- did you mean {', '.join(repr(c) for c in close)}?" if close else ""
+    raise UnknownEngineError(
+        f"unknown engine {name!r}; available: {available_engines()}{hint}"
+    )
+
+
+def engine_description(name: str) -> str:
+    """First docstring line of a registered engine (CLI listings)."""
+    _ensure_engines()
+    ensure_known_engine(name)
+    doc = _ENGINE_REGISTRY[name].__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
 def get_engine(engine: str | Engine, **options) -> Engine:
     """Resolve an engine identifier (or pass an instance through).
 
     ``options`` are forwarded to the registered factory -- engine
     construction knobs like the multi-GPU engine's ``num_devices``.
+    Unknown names raise :class:`UnknownEngineError` listing
+    :func:`available_engines`.
     """
     if isinstance(engine, Engine):
         if options:
             raise ValueError("engine options require an engine name, not an instance")
         return engine
-    _ensure_engines()
-    if engine not in _ENGINE_REGISTRY:
-        raise ValueError(
-            f"unknown engine {engine!r}; available: {available_engines()}"
-        )
+    ensure_known_engine(engine)
     return _ENGINE_REGISTRY[engine](**options)
 
 
@@ -242,6 +288,7 @@ class Runtime:
         launch: LaunchParams | None = None,
         schedule_options: dict | None = None,
         policy: SchedulePolicy | None = None,
+        engines: dict | None = None,
     ):
         if policy is not None and schedule is not None:
             raise ValueError("pass either schedule= or policy=, not both")
@@ -250,6 +297,14 @@ class Runtime:
         self.schedule = schedule
         self.launch = launch
         self.schedule_options = dict(schedule_options or {})
+        # Per-kernel engine overrides, the engine-side mirror of
+        # PerKernelPolicy: ``{kernel_label: engine}`` routes individual
+        # launches of a multi-kernel application (e.g. spgemm's "count"
+        # vs "compute" passes) to different engines.  Resolved eagerly so
+        # a typo fails at construction, not mid-run.
+        self.engines = {
+            label: get_engine(value) for label, value in (engines or {}).items()
+        }
         if policy is None and schedule is not None:
             policy = as_policy(schedule)
         self.policy = policy
@@ -351,14 +406,34 @@ class Runtime:
         *,
         compute: Callable[[], Any] | None = None,
         kernel: Callable[[], tuple[Callable, Callable[[], Any]]] | None = None,
+        compiled: Any | None = None,
+        kernel_label: str | None = None,
         extras: dict | None = None,
     ) -> tuple[Any, KernelStats]:
-        """Execute one described launch on the bound engine."""
-        return self.engine.launch(
-            sched,
-            costs,
+        """Execute one described launch on the bound engine.
+
+        ``kernel_label`` names the launch within the application (the
+        same labels ``schedule_for(kernel=...)`` uses); a matching entry
+        in the runtime's per-kernel ``engines`` mapping overrides the
+        bound engine for this one launch.  ``compiled`` is the optional
+        :class:`~repro.engine.compiled.CompiledKernel` declaration.
+        """
+        engine = self.engine
+        if kernel_label is not None and kernel_label in self.engines:
+            engine = self.engines[kernel_label]
+        kwargs = dict(
             compute=compute,
             kernel=kernel,
+            compiled=compiled,
             extras=extras,
             cache_key=self._cache_key(),
         )
+        try:
+            return engine.launch(sched, costs, **kwargs)
+        except TypeError as exc:
+            # Third-party engines predating the ``compiled=`` keyword:
+            # retry without it rather than requiring a signature bump.
+            if "compiled" not in str(exc):
+                raise
+            kwargs.pop("compiled")
+            return engine.launch(sched, costs, **kwargs)

@@ -59,8 +59,8 @@ class MultiGpuEngine(Engine):
         self.partition = partition
         self.plan_cache = global_plan_cache() if plan_cache is None else plan_cache
 
-    def launch(self, sched, costs, *, compute=None, kernel=None, extras=None,
-               cache_key=None):
+    def launch(self, sched, costs, *, compute=None, kernel=None, compiled=None,
+               extras=None, cache_key=None):
         if compute is None:
             raise EngineError(
                 "the multi_gpu engine requires a compute() callable"

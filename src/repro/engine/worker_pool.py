@@ -463,12 +463,17 @@ def _worker_warmup(cache_dir: str | None, store_path: str | None) -> None:
     import numpy  # noqa: F401  (pre-faulted into the worker)
 
     from .. import apps  # noqa: F401  (registers every app and schedule)
+    from .compiled import precompile_kernels
     from .plan_cache import configure_global_plan_cache
 
     if store_path is not None:
         configure_global_plan_cache(store_path=store_path)
     elif cache_dir is not None:
         configure_global_plan_cache(cache_dir=cache_dir)
+    # Pay the JIT cost here, not in the first timed launch: the apps
+    # import above registered every kernel's warmup, and with numba
+    # absent this is a no-op.
+    precompile_kernels()
 
 
 #: Worker-side attachment cache: ``shm_name -> (shm, Dataset)``, in LRU

@@ -199,7 +199,10 @@ def _execute_cell(
     elif kernel in POLICY_KERNELS or kernel in available_schedules():
         result = run_app(app_spec, problem, ctx=ctx.with_policy(as_policy(kernel)))
         y, stats = result.output, result.stats
-        meta = {"schedule": result.schedule}
+        # Launch extras ride along (e.g. the compiled engine's JIT mode
+        # and compilation-cache hit/miss counters); the resolved schedule
+        # name wins over any same-named extras key.
+        meta = {**stats.extras, "schedule": result.schedule}
     else:
         known = tuple(sorted(app_spec.baselines)) + POLICY_KERNELS + tuple(
             available_schedules()
@@ -491,6 +494,17 @@ def run_suite(
         plan_cache_dir=None if plan_cache_dir is None else str(plan_cache_dir),
         plan_store=None if plan_store is None else str(plan_store),
     )
+    # Fail fast on unknown engines for *every* executor: a typo'd engine
+    # name must raise here, in the caller's process, not as a late
+    # ``Runtime`` construction error inside a worker (or never at all
+    # when a cell short-circuits).
+    from ..engine.dispatch import ensure_known_engine
+
+    if isinstance(ctx.engine, str):
+        ensure_known_engine(ctx.engine)
+    for _label, _eng in ctx.engines:
+        if isinstance(_eng, str):
+            ensure_known_engine(_eng)
     app_spec = get_app(app)
     ds = list(datasets) if datasets is not None else build_corpus(scale, limit=limit)
     if app_spec.accepts is not None:
