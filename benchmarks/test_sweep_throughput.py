@@ -19,6 +19,12 @@ throughput trajectory to regress against:
   serve both from the in-worker :class:`~repro.engine.worker_pool.
   ProblemCache` (hit/miss proven by the per-row counters, one worker so
   the cache placement is deterministic);
+* ``steady_state_w4_first`` / ``steady_state_w4_warm`` -- the same
+  steady state on a *width-4* pool: sticky (rendezvous-hashed) placement
+  lands every dataset on the same worker sweep after sweep, so the warm
+  hit rate is 100% without the single-worker crutch
+  (``steady_state_w4_hit_rate``, CI-floored; placement asserted
+  identical across sweeps);
 * ``fresh_process_cold`` / ``fresh_process_warm`` -- a subprocess
   sweeping the grid against the per-file plan-cache directory;
 * ``store_fresh_cold`` / ``store_fresh_warm`` -- the same two
@@ -138,6 +144,33 @@ def test_sweep_throughput(tmp_path):
                 ss_times.append(t)
         ss_warm_s = min(ss_times)
 
+        # -- Steady state at width 4: sticky placement pins each dataset
+        # to its home worker, so every warm sweep hits the same caches
+        # the first sweep filled -- no single-worker crutch needed. --
+        def _placement(rows):
+            return {
+                r.dataset: (
+                    r.meta["placement"]["slot"], r.meta["placement"]["pid"]
+                )
+                for r in rows
+            }
+
+        with SweepExecutor(max_workers=4) as w4_pool:
+            w4_first_s, w4_first_rows = _timed_sweep(
+                executor="process", pool=w4_pool, plan_cache_dir=cache_dir
+            )
+            w4_times = []
+            w4_placements = []
+            for _ in range(3):
+                t, w4_warm_rows = _timed_sweep(
+                    executor="process", pool=w4_pool, plan_cache_dir=cache_dir
+                )
+                w4_times.append(t)
+                w4_placements.append(_placement(w4_warm_rows))
+            w4_info = w4_pool.info()
+            w4_first_placement = _placement(w4_first_rows)
+        w4_warm_s = min(w4_times)
+
         from repro.engine import global_plan_cache
 
         in_process_info = global_plan_cache().info()
@@ -176,6 +209,21 @@ def test_sweep_throughput(tmp_path):
     assert ss_first_misses == len(ss_first_rows), ss_first_rows[0].meta
     assert ss_warm_hits == len(ss_warm_rows), ss_warm_rows[0].meta
     assert ss_warm_s * 1.2 <= ss_first_s, (ss_warm_s, ss_first_s)
+
+    # Width-4 steady state: the first sweep builds everything (all
+    # misses), every warm sweep lands every dataset on the same worker
+    # process (placement identical) and rebuilds nothing -- a 100% warm
+    # hit rate with four workers, which only sticky placement delivers.
+    assert key(w4_first_rows) == key(w4_warm_rows) == key(cold_rows)
+    assert all(p == w4_first_placement for p in w4_placements), w4_placements
+    w4_first_misses = sum(
+        r.meta.get("problem_cache") == "miss" for r in w4_first_rows
+    )
+    w4_hits = sum(r.meta.get("problem_cache") == "hit" for r in w4_warm_rows)
+    w4_hit_rate = w4_hits / len(w4_warm_rows)
+    assert w4_first_misses == len(w4_first_rows), w4_first_rows[0].meta
+    assert w4_hit_rate == 1.0, w4_hit_rate
+    assert w4_info["sticky_shards"] > 0
 
     # -- Fresh processes: per-file directory vs single-file store. ------
     fresh_cache = tmp_path / "plans-fresh"
@@ -217,6 +265,8 @@ def test_sweep_throughput(tmp_path):
             "pool_reuse_warm": round(pool_warm_s, 6),
             "steady_state_first": round(ss_first_s, 6),
             "steady_state_warm": round(ss_warm_s, 6),
+            "steady_state_w4_first": round(w4_first_s, 6),
+            "steady_state_w4_warm": round(w4_warm_s, 6),
             "fresh_process_cold": round(fp_cold_s, 6),
             "fresh_process_warm": round(fp_warm_s, 6),
             "store_fresh_cold": round(st_cold_s, 6),
@@ -233,6 +283,9 @@ def test_sweep_throughput(tmp_path):
             "steady_state_warm_over_first": (
                 round(ss_first_s / ss_warm_s, 3) if ss_warm_s else None
             ),
+            "steady_state_w4_warm_over_first": (
+                round(w4_first_s / w4_warm_s, 3) if w4_warm_s else None
+            ),
             "fresh_process_warm_over_cold": (
                 round(fp_cold_s / fp_warm_s, 3) if fp_warm_s else None
             ),
@@ -241,10 +294,15 @@ def test_sweep_throughput(tmp_path):
             ),
         },
         "pool": pool_info,
+        "pool_w4": w4_info,
+        "steady_state_w4_hit_rate": w4_hit_rate,
         "problem_cache": {
             "first_misses": ss_first_misses,
             "warm_hits": ss_warm_hits,
             "rows": len(ss_warm_rows),
+            "w4_first_misses": w4_first_misses,
+            "w4_warm_hits": w4_hits,
+            "w4_rows": len(w4_warm_rows),
         },
         "plan_cache": {
             "in_process_final": in_process_info,

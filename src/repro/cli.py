@@ -15,6 +15,8 @@ CLI reproduces both entry points::
     python -m repro schedules
     python -m repro engines
     python -m repro table1
+    python -m repro plans plans.journal
+    python -m repro plans compact plans.journal
 
 Execution selection is one :class:`~repro.engine.context.ExecutionContext`
 built from ``--engine`` (any registered engine: ``vector``, ``simt``,
@@ -190,6 +192,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("schedules", help="list registered schedules")
 
     sub.add_parser("engines", help="list registered execution engines")
+
+    p_plans = sub.add_parser(
+        "plans", help="inspect or compact a journaled plan store"
+    )
+    p_plans.add_argument(
+        "target", nargs="+", metavar="[compact] PATH",
+        help="plan-store journal to inspect, or 'compact' followed by "
+             "the journal to rewrite in place",
+    )
     return parser
 
 
@@ -374,6 +385,68 @@ def _cmd_engines(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_plan_store_path(path: Path) -> str | None:
+    """Validate that ``path`` looks like one of our plan-store journals.
+
+    Only *structural* problems (missing file, directory, foreign or
+    version-bumped header) are errors; a damaged tail is tolerated by
+    the store itself and merely reported by the inspection output.
+    """
+    from .engine.plan_store import STORE_FORMAT_VERSION, STORE_MAGIC
+
+    if not path.exists():
+        return f"no plan store at {path}"
+    if path.is_dir():
+        return (f"{path} is a directory, not a plan-store journal "
+                f"(did you mean --plan-cache-dir?)")
+    with open(path, "rb") as fh:
+        head = fh.read(len(STORE_MAGIC) + 4)
+    if (len(head) < len(STORE_MAGIC) + 4
+            or head[: len(STORE_MAGIC)] != STORE_MAGIC
+            or int.from_bytes(head[len(STORE_MAGIC):], "little")
+            != STORE_FORMAT_VERSION):
+        return f"{path} is not a plan-store journal (bad header)"
+    return None
+
+
+def _cmd_plans(args: argparse.Namespace) -> int:
+    from .engine.plan_store import PlanStore
+
+    target = list(args.target)
+    compact = target and target[0] == "compact"
+    if compact:
+        target = target[1:]
+    if len(target) != 1:
+        print("usage: repro plans [compact] PATH", file=sys.stderr)
+        return 2
+    path = Path(target[0])
+    error = _check_plan_store_path(path)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+
+    store = PlanStore(path)
+    try:
+        if compact:
+            before = store.info()["file_bytes"]
+            dropped = store.compact()
+            after = store.info()["file_bytes"]
+            print(f"compacted {path}: dropped {dropped} dead records "
+                  f"({before} -> {after} bytes)")
+            return 0
+        info = store.info()
+        total = info["records"] + info["dead_records"]
+        live_ratio = info["records"] / total if total else 1.0
+        print(f"path:         {info['path']}")
+        print(f"records:      {info['records']} live, "
+              f"{info['dead_records']} dead ({live_ratio:.0%} live)")
+        print(f"file bytes:   {info['file_bytes']}")
+        print(f"scan damage:  {'yes' if info['scan_damage'] else 'no'}")
+        return 0
+    finally:
+        store.close()
+
+
 _COMMANDS = {
     "spmv": _cmd_spmv,
     "sweep": _cmd_sweep,
@@ -382,6 +455,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "schedules": _cmd_schedules,
     "engines": _cmd_engines,
+    "plans": _cmd_plans,
 }
 
 

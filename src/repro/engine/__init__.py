@@ -100,16 +100,25 @@ from .plan_cache import (
     global_plan_cache,
     work_fingerprint,
 )
-from .plan_store import STORE_FORMAT_VERSION, PlanStore
+from .plan_store import (
+    PLAN_STORE_COMPACT_RATIO_ENV,
+    STORE_FORMAT_VERSION,
+    PlanStore,
+)
 from .worker_pool import (
+    SHARED_ORACLE_BYTES_ENV,
     TRANSPORTS,
     ArrayBundleHandle,
     ProblemCache,
+    SharedPayloadHandle,
     ShmCodec,
     SweepExecutor,
+    attach_payload,
     clear_problem_cache,
     default_executor,
+    home_slot,
     problem_cache,
+    publish_payload,
     register_shm_codec,
     shutdown_default_executor,
 )
@@ -164,14 +173,20 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_FORMAT_VERSION",
     "PLAN_STORE_ENV",
+    "PLAN_STORE_COMPACT_RATIO_ENV",
     "STORE_FORMAT_VERSION",
+    "SHARED_ORACLE_BYTES_ENV",
     "PlanCache",
     "PlanStore",
     "SweepExecutor",
     "TRANSPORTS",
     "ArrayBundleHandle",
+    "SharedPayloadHandle",
     "ShmCodec",
     "register_shm_codec",
+    "publish_payload",
+    "attach_payload",
+    "home_slot",
     "ProblemCache",
     "problem_cache",
     "clear_problem_cache",

@@ -106,6 +106,9 @@ class MultiGpuEngine(Engine):
                 "device_imbalance": ensemble.device_imbalance,
                 "shards": ensemble.shards,
                 "device_elapsed_ms": tuple(float(t) for t in times),
+                "transfer_model": ensemble.extras.get("transfer_model"),
+                "transfer_ms": ensemble.extras.get("transfer_ms"),
+                "gather_bytes": ensemble.extras.get("gather_bytes"),
                 **(extras or {}),
             },
         )

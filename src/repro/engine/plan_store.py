@@ -49,13 +49,54 @@ import zlib
 from pathlib import Path
 from typing import Any, Iterator
 
-__all__ = ["PlanStore", "STORE_FORMAT_VERSION", "STORE_MAGIC"]
+__all__ = [
+    "PlanStore",
+    "STORE_FORMAT_VERSION",
+    "STORE_MAGIC",
+    "PLAN_STORE_COMPACT_RATIO_ENV",
+]
 
 #: Bump when the journal framing (header/record layout) changes; old
 #: files then read as cold and are rotated on the first append.
 STORE_FORMAT_VERSION = 1
 
 STORE_MAGIC = b"RPSTORE1"
+
+#: Dead-record ratio above which :meth:`PlanStore.put` auto-compacts the
+#: journal.  ``0`` (or any non-positive value) disables auto-compaction.
+PLAN_STORE_COMPACT_RATIO_ENV = "REPRO_PLAN_STORE_COMPACT_RATIO"
+
+#: Default auto-compaction trigger: compact once half the journal is dead.
+DEFAULT_COMPACT_RATIO = 0.5
+
+#: Auto-compaction only fires once this many records are dead -- ratio
+#: alone would thrash small journals (two updates of one key is "50%
+#: dead") where compaction saves nothing worth a rewrite.
+AUTO_COMPACT_MIN_DEAD = 64
+
+
+def _compact_ratio_from_env() -> float:
+    """The auto-compaction threshold from the environment knob.
+
+    A malformed value warns and falls back to the default -- a tuning
+    typo must degrade the optimization, never crash every planner (same
+    contract as the problem-cache budgets).
+    """
+    raw = os.environ.get(PLAN_STORE_COMPACT_RATIO_ENV)
+    if not raw:
+        return DEFAULT_COMPACT_RATIO
+    try:
+        return float(raw)
+    except ValueError:
+        import warnings
+
+        warnings.warn(
+            f"ignoring non-numeric {PLAN_STORE_COMPACT_RATIO_ENV}={raw!r}; "
+            f"using the default compaction ratio",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return DEFAULT_COMPACT_RATIO
 
 _HEADER = struct.Struct("<8sI")
 _RECORD = struct.Struct("<II")
@@ -75,10 +116,18 @@ class PlanStore:
     verification.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, *, compact_ratio: float | None = None):
         self.path = Path(path)
+        #: Dead-record ratio that triggers auto-compaction on ``put``
+        #: (``None`` reads ``REPRO_PLAN_STORE_COMPACT_RATIO``, defaulting
+        #: to 0.5; non-positive disables).
+        self.compact_ratio = (
+            _compact_ratio_from_env() if compact_ratio is None
+            else float(compact_ratio)
+        )
         self.hits = 0
         self.appends = 0
+        self.auto_compactions = 0
         #: Records superseded by a newer append for the same key (plus
         #: records whose payload could not be unpickled at scan time).
         self.dead_records = 0
@@ -191,10 +240,14 @@ class PlanStore:
                 return None
             try:
                 stored_key, value = pickle.loads(payload)
+                matches = stored_key == key
             except Exception:
+                # Unpicklable payload, or a key comparison that raises
+                # (e.g. a spec type that since grew fields): a record we
+                # cannot trust is a miss, never an error.
                 del self._index[key]
                 return None
-            if stored_key != key:
+            if not matches:
                 del self._index[key]
                 return None
             self.hits += 1
@@ -235,6 +288,16 @@ class PlanStore:
                 self.dead_records += 1
             self._index[key] = (offset + _RECORD.size, len(payload), zlib.crc32(payload))
             self.appends += 1
+            if self._should_auto_compact():
+                self.compact()
+                self.auto_compactions += 1
+
+    def _should_auto_compact(self) -> bool:
+        """True when the dead-record ratio crossed the compaction trigger."""
+        if self.compact_ratio <= 0 or self.dead_records < AUTO_COMPACT_MIN_DEAD:
+            return False
+        total = self.dead_records + len(self._index)
+        return self.dead_records >= self.compact_ratio * total
 
     def _truncate_damage(self) -> None:
         """Drop a damaged tail so new appends stay scannable."""
@@ -324,6 +387,9 @@ class PlanStore:
                 "hits": self.hits,
                 "dead_records": self.dead_records,
                 "file_bytes": file_bytes,
+                "compact_ratio": self.compact_ratio,
+                "auto_compactions": self.auto_compactions,
+                "scan_damage": self.scan_damage,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -17,10 +17,18 @@ kernel launches:
     Use it as a context manager, or share the module-level
     :func:`default_executor` (the harness's ``keep_pool=True``).
 
-Shard batching
-    Small datasets are grouped into contiguous batches so one pickle
-    crossing carries several shards; big datasets still travel alone.
-    Results come back per shard, in submission order.
+Sticky placement & shard batching
+    Every dataset has a *home worker*: its content key is rendezvous-
+    (HRW-)hashed over the pool's worker slots, so the same dataset lands
+    on the same worker sweep after sweep -- warm worker caches stop
+    depending on scheduler luck, and crash-respawn or width growth remap
+    only the minimum number of keys.  Within a home group, small
+    datasets are batched into contiguous weight-balanced batches so one
+    pickle crossing carries several shards; oversized batches are
+    work-stolen (bounded, deterministic) to the least-loaded slot.
+    Every row records its placement (home, executing slot, sticky vs
+    stolen, worker pid) in ``meta["placement"]``.  Results come back per
+    shard, in submission order.
 
 Shared-memory dataset transport
     Dataset payloads are packed into *array bundles* -- an ordered list
@@ -41,6 +49,18 @@ Worker-resident problem/oracle cache
     cache living in each worker process, so steady-state sweeps on a
     warm pool are problem-build-free *and* oracle-free; hit/miss
     counters surface through ``SweepRow.meta``.
+
+Cross-worker oracle sharing
+    A local problem-cache miss no longer always means a rebuild: the
+    first worker that builds an oracle publishes it to a shared-memory
+    payload block (:func:`publish_payload` -- array bundles for codec-
+    claimed payloads, a pickled-bytes segment otherwise), and the parent
+    records the handle in a pin/LRU byte-budgeted directory keyed by the
+    same ``(app, fingerprint, seed, validate)`` problem-cache key.
+    Every other worker that misses locally attaches the published copy
+    zero-copy instead of rebuilding, so hot oracles are resident once
+    per machine instead of once per worker.  Attach/publish counters
+    ride in ``ProblemCache.info()`` and ``SweepRow.meta``.
 """
 
 from __future__ import annotations
@@ -49,6 +69,8 @@ import atexit
 import gc
 import itertools
 import os
+import pickle
+import struct
 import threading
 import zlib
 from collections import OrderedDict
@@ -67,9 +89,13 @@ __all__ = [
     "ArrayBundleHandle",
     "ArraySegment",
     "SharedDatasetHandle",
+    "SharedPayloadHandle",
     "ShmCodec",
     "register_shm_codec",
     "shm_codec_for",
+    "publish_payload",
+    "attach_payload",
+    "home_slot",
     "ProblemCache",
     "problem_cache",
     "clear_problem_cache",
@@ -78,6 +104,7 @@ __all__ = [
     "TRANSPORTS",
     "PROBLEM_CACHE_ENTRIES_ENV",
     "PROBLEM_CACHE_BYTES_ENV",
+    "SHARED_ORACLE_BYTES_ENV",
 ]
 
 #: Dataset transports :class:`SweepExecutor` understands.  ``auto``
@@ -89,6 +116,10 @@ TRANSPORTS = ("auto", "shm", "pickle")
 #: Environment knobs bounding each worker's problem/oracle cache.
 PROBLEM_CACHE_ENTRIES_ENV = "REPRO_PROBLEM_CACHE_ENTRIES"
 PROBLEM_CACHE_BYTES_ENV = "REPRO_PROBLEM_CACHE_BYTES"
+
+#: Byte budget for the parent-coordinated shared-oracle directory; 0
+#: disables cross-worker oracle sharing entirely.
+SHARED_ORACLE_BYTES_ENV = "REPRO_SHARED_ORACLE_BYTES"
 
 
 def _shared_memory():
@@ -312,6 +343,72 @@ def _bundle_key(name: str, codec: ShmCodec, arrays: list, crcs: list, extra: dic
     )
 
 
+def _layout_segments(arrays: list, crcs: list) -> tuple[list, int]:
+    """Plan the aligned segment layout for a bundle block."""
+    segments = []
+    offset = 0
+    for (label, arr), crc in zip(arrays, crcs):
+        offset = _align(offset)
+        segments.append(ArraySegment(
+            label=label,
+            dtype=arr.dtype.str,
+            shape=arr.shape,
+            crc=crc,
+            offset=offset,
+        ))
+        offset += arr.nbytes
+    return segments, offset
+
+
+def _create_block(segments: list, arrays: list, total: int):
+    """Allocate one shm block and copy the arrays in; ``None`` if refused.
+
+    A failure while *filling* an already-created block closes and
+    unlinks it before re-raising, so publish errors never leak shared
+    memory.
+    """
+    shared_memory = _shared_memory()
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    except OSError:
+        return None
+    try:
+        for seg, (_, arr) in zip(segments, arrays):
+            np.ndarray(
+                seg.shape, dtype=seg.dtype, buffer=shm.buf, offset=seg.offset
+            )[:] = arr
+    except Exception:
+        # The block exists but was never handed out: reclaim it now
+        # instead of leaking it until interpreter exit.
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        raise
+    return shm
+
+
+def _unlink_block(name: str) -> None:
+    """Reclaim one shm block by name, tolerating its prior disappearance."""
+    shared_memory = _shared_memory()
+    if shared_memory is None:  # pragma: no cover - always present
+        return
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except (OSError, ValueError):
+        return  # already unlinked (or never materialized)
+    try:
+        shm.close()
+    finally:
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing unlink
+            pass
+
+
 def dataset_content_key(dataset: Dataset) -> tuple | None:
     """Cheap content fingerprint of a bundleable dataset.
 
@@ -356,38 +453,10 @@ def publish_dataset(
         return None
     codec, arrays, extra = bundle
     crcs = _bundle_crcs(arrays) if _crcs is None else _crcs
-    segments = []
-    offset = 0
-    for (label, arr), crc in zip(arrays, crcs):
-        offset = _align(offset)
-        segments.append(ArraySegment(
-            label=label,
-            dtype=arr.dtype.str,
-            shape=arr.shape,
-            crc=crc,
-            offset=offset,
-        ))
-        offset += arr.nbytes
-    try:
-        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
-    except OSError:
+    segments, total = _layout_segments(arrays, crcs)
+    shm = _create_block(segments, arrays, total)
+    if shm is None:
         return None
-    try:
-        for seg, (_, arr) in zip(segments, arrays):
-            np.ndarray(
-                seg.shape, dtype=seg.dtype, buffer=shm.buf, offset=seg.offset
-            )[:] = arr
-    except Exception:
-        # The block exists but was never handed out: reclaim it now
-        # instead of leaking it until interpreter exit.
-        try:
-            shm.close()
-        finally:
-            try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-        raise
     handle = ArrayBundleHandle(
         shm_name=shm.name,
         codec=codec.name,
@@ -453,6 +522,188 @@ def detach(shm) -> None:
             shm.close()
         except BufferError:  # released at worker exit instead
             pass
+
+
+# ----------------------------------------------------------------------
+# Shared payload (oracle) transport: publish once, attach everywhere
+# ----------------------------------------------------------------------
+#: Segment label + codec sentinel for the pickled-bytes fallback, used
+#: when no registered ShmCodec claims an oracle payload.
+_PICKLE_CODEC = "pickle"
+
+
+@dataclass(frozen=True)
+class SharedPayloadHandle:
+    """Picklable stand-in for one built payload published to shm.
+
+    The oracle-sharing analogue of :class:`ArrayBundleHandle`: codec-
+    claimed payloads travel as array bundles and reattach as zero-copy
+    views; anything else travels as one pickled ``uint8`` segment under
+    the ``"pickle"`` codec sentinel (attached as a copy).  Handles are
+    created by the worker that built the payload, adopted by the parent
+    into its shared-oracle directory, and shipped back out to every
+    worker that misses locally.
+    """
+
+    shm_name: str
+    codec: str
+    segments: tuple[ArraySegment, ...]
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(seg.nbytes for seg in self.segments)
+
+
+def publish_payload(payload: Any) -> SharedPayloadHandle | None:
+    """Publish one built payload (an oracle, typically) to shared memory.
+
+    Codec-claimed payloads are packed exactly like dataset bundles;
+    everything else is pickled into a single byte segment so sharing
+    still works for scalar or namespace-shaped oracles.  Returns
+    ``None`` when the payload cannot travel (unpicklable, shm
+    unavailable, allocation refused, a codec pack error) -- callers then
+    simply keep their locally-built copy.
+    """
+    shared_memory = _shared_memory()
+    if shared_memory is None:  # pragma: no cover - always present
+        return None
+    codec = shm_codec_for(payload)
+    try:
+        if codec is not None:
+            arrays, extra = codec.pack(payload)
+            arrays = [
+                (label, np.ascontiguousarray(arr)) for label, arr in arrays
+            ]
+            codec_name = codec.name
+        else:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            arrays = [(_PICKLE_CODEC, np.frombuffer(blob, dtype=np.uint8))]
+            extra = {}
+            codec_name = _PICKLE_CODEC
+        crcs = _bundle_crcs(arrays)
+        segments, total = _layout_segments(arrays, crcs)
+        shm = _create_block(segments, arrays, total)
+    except Exception:
+        return None  # a payload that cannot be shared is not an error
+    if shm is None:
+        return None
+    handle = SharedPayloadHandle(
+        shm_name=shm.name,
+        codec=codec_name,
+        segments=tuple(segments),
+        extra=dict(extra),
+    )
+    # The publisher keeps no mapping: its ProblemCache already holds the
+    # locally-built payload, and the parent owns the block's lifetime.
+    shm.close()
+    return handle
+
+
+#: Worker-side payload attachment cache, mirroring ``_ATTACHED`` for
+#: datasets: ``shm_name -> (shm, payload)`` in LRU order.  Only bundle-
+#: codec payloads are cached (pickle attaches copy and detach at once).
+_PAYLOAD_ATTACHMENTS: OrderedDict[str, tuple] = OrderedDict()
+_PAYLOAD_ATTACH_CAP = 128
+
+
+def attach_payload(handle: SharedPayloadHandle) -> Any | None:
+    """Worker-side reattach of a published payload.
+
+    Returns the payload (zero-copy views for bundle codecs, a fresh copy
+    for the pickle fallback), or ``None`` on *any* failure -- a vanished
+    block (parent evicted it), CRC mismatch, unknown codec -- so the
+    caller falls back to building the payload itself.  Sharing can only
+    skip work, never change results.
+    """
+    shared_memory = _shared_memory()
+    if shared_memory is None:  # pragma: no cover - always present
+        return None
+    cached = _PAYLOAD_ATTACHMENTS.get(handle.shm_name)
+    if cached is not None:
+        _PAYLOAD_ATTACHMENTS.move_to_end(handle.shm_name)
+        return cached[1]
+    if handle.codec != _PICKLE_CODEC and handle.codec not in _SHM_CODECS:
+        return None
+    try:
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+    except (OSError, ValueError):
+        return None
+    arrays = {}
+    try:
+        for seg in handle.segments:
+            view = np.ndarray(
+                seg.shape, dtype=seg.dtype, buffer=shm.buf, offset=seg.offset
+            )
+            if zlib.crc32(view) != seg.crc:
+                raise ValueError(f"CRC mismatch in segment {seg.label!r}")
+            arrays[seg.label] = view
+        if handle.codec == _PICKLE_CODEC:
+            payload = pickle.loads(arrays[_PICKLE_CODEC].tobytes())
+        else:
+            payload = _SHM_CODECS[handle.codec].unpack(
+                arrays, dict(handle.extra)
+            )
+    except Exception:
+        arrays.clear()
+        detach(shm)
+        return None
+    if handle.codec == _PICKLE_CODEC:
+        arrays.clear()
+        detach(shm)  # the bytes were copied out; no mapping to keep
+        return payload
+    while len(_PAYLOAD_ATTACHMENTS) >= _PAYLOAD_ATTACH_CAP:
+        _, (old_shm, old_payload) = _PAYLOAD_ATTACHMENTS.popitem(last=False)
+        del old_payload  # drop the buffer views before closing
+        detach(old_shm)
+    _PAYLOAD_ATTACHMENTS[handle.shm_name] = (shm, payload)
+    return payload
+
+
+class _SharedPayloadRecord:
+    """Parent-side directory entry for one published oracle block.
+
+    Same pin/tick lifecycle as :class:`_PublishedDataset`, but the block
+    was *created by a worker*: the parent holds only the name, and
+    reclaims the block by reopening it at eviction/shutdown (pool
+    workers are fork children sharing the parent's resource tracker, so
+    create-in-worker / unlink-in-parent balances exactly once).
+    """
+
+    def __init__(self, handle: SharedPayloadHandle) -> None:
+        self.handle = handle
+        self.pins = 0
+        self.tick = 0
+        self.nbytes = handle.payload_bytes
+
+    def unlink(self) -> None:
+        _unlink_block(self.handle.shm_name)
+
+
+# ----------------------------------------------------------------------
+# Sticky placement: rendezvous hashing of content keys over worker slots
+# ----------------------------------------------------------------------
+def home_slot(placement_key: Any, width: int) -> int:
+    """Rendezvous (highest-random-weight) home slot for a placement key.
+
+    Each ``(key, slot)`` pair gets a deterministic score (crc32 -- NOT
+    Python's salted ``hash``); the winning slot is the key's home.  The
+    HRW property is what makes placement *minimally* disruptive: growing
+    the pool by one slot only moves the keys whose new maximum is that
+    slot (~1/width of them), and respawning a crashed slot moves nothing
+    because slot indices, not process identities, are scored.
+    """
+    if width <= 1:
+        return 0
+    digest = zlib.crc32(repr(placement_key).encode("utf-8"))
+    best = 0
+    best_score = -1
+    for slot in range(width):
+        score = zlib.crc32(struct.pack("<I", slot), digest)
+        if score > best_score:
+            best = slot
+            best_score = score
+    return best
 
 
 # ----------------------------------------------------------------------
@@ -568,6 +819,10 @@ class ProblemCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Cross-worker sharing outcomes: misses served by attaching a
+        # published copy, and local builds published for other workers.
+        self.attaches = 0
+        self.publishes = 0
 
     @classmethod
     def from_env(cls) -> "ProblemCache":
@@ -645,6 +900,8 @@ class ProblemCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "attaches": self.attaches,
+                "publishes": self.publishes,
             }
 
 
@@ -668,20 +925,60 @@ def clear_problem_cache() -> None:
         _PROBLEM_CACHE = None
 
 
-def _run_batch(tasks: tuple) -> list:
-    """Run one batch of shard tasks; one pickle crossing each way."""
+@dataclass(frozen=True)
+class _BatchItem:
+    """One placed shard crossing into a worker: task + sharing context.
+
+    ``dataset_key`` is the staging-time content fingerprint (computed
+    once in the parent, for *both* transports, so workers never pay a
+    fresh CRC pass); ``placement`` records home/executing slot and
+    sticky-vs-stolen; ``oracle`` is a published handle the worker should
+    try before rebuilding; ``publish`` tells it whether to publish what
+    it builds.
+    """
+
+    task: Any
+    index: int  # position in the sweep's original shard order
+    dataset_key: tuple | None
+    placement: dict
+    oracle: SharedPayloadHandle | None = None
+    publish: bool = False
+
+
+def _run_batch(items: tuple) -> tuple[list, list]:
+    """Run one placed batch of shard tasks; one pickle crossing each way.
+
+    Returns ``(per-shard row lists, publications)`` where publications
+    is a list of ``(problem-cache key, SharedPayloadHandle)`` pairs for
+    oracles this worker built and published; the parent adopts them into
+    its shared-oracle directory.  If the batch dies mid-flight its own
+    publications are reclaimed here -- the parent never learned their
+    names.
+    """
     from ..evaluation.harness import _run_shard
 
     out = []
-    for task in tasks:
-        dataset_key = None
-        if isinstance(task.dataset, ArrayBundleHandle):
-            # The publish-time fingerprint doubles as the problem-cache
-            # key: shm-transported shards never pay a fresh CRC pass.
-            dataset_key = task.dataset.content_key()
-            task = replace(task, dataset=_attached_dataset(task.dataset))
-        out.append(_run_shard(task, dataset_key=dataset_key))
-    return out
+    publications: list = []
+    pid = os.getpid()
+    try:
+        for item in items:
+            task = item.task
+            if isinstance(task.dataset, ArrayBundleHandle):
+                task = replace(task, dataset=_attached_dataset(task.dataset))
+            rows = _run_shard(
+                task,
+                dataset_key=item.dataset_key,
+                shared_oracle=item.oracle,
+                publications=publications if item.publish else None,
+            )
+            for row in rows:
+                row.meta["placement"] = {**item.placement, "pid": pid}
+            out.append(rows)
+    except BaseException:
+        for _key, handle in publications:
+            _unlink_block(handle.shm_name)
+        raise
+    return out, publications
 
 
 def _worker_probe(_=None) -> int:
@@ -692,17 +989,53 @@ def _worker_probe(_=None) -> int:
 # ----------------------------------------------------------------------
 # The persistent executor
 # ----------------------------------------------------------------------
-class SweepExecutor:
-    """A reusable process pool for per-dataset sweep shards.
+@dataclass
+class _WorkerSlot:
+    """One home slot of the pool: a single-worker process pool.
 
-    The pool is spawned lazily on the first :meth:`map_shards` and then
-    *kept*: later sweeps -- same app or not -- reuse the warm workers,
-    whose module imports and in-memory plan caches persist.  Width is
-    ``max_workers`` when given, else ``os.cpu_count()`` capped by the
-    sweep's shard count; a sweep wanting a *wider* pool than the current
-    one respawns it at the new high-water width (a one-time warmth loss
-    per growth step), and a pool broken by a crashed worker is respawned
-    on the next sweep instead of failing forever.
+    Slots -- not one monolithic N-worker pool -- are what make placement
+    deterministic: a batch submitted to slot *i* runs on slot *i*'s
+    worker, period.  A crashed worker breaks only its own slot, which is
+    respawned in place (same index, new pid) on the next sweep, so every
+    other slot keeps its warm caches and its keys.
+    """
+
+    index: int
+    pool: ProcessPoolExecutor
+
+    @property
+    def broken(self) -> bool:
+        return bool(getattr(self.pool, "_broken", False))
+
+
+@dataclass
+class _StagedShard:
+    """Parent-side staging record for one shard task."""
+
+    task: Any
+    index: int  # position in the sweep's original order
+    dataset_key: tuple | None
+    atoms: int
+    weight: float
+    home: int = 0
+
+
+class SweepExecutor:
+    """A reusable pool of worker slots for per-dataset sweep shards.
+
+    The slots are spawned lazily on the first :meth:`map_shards` and
+    then *kept*: later sweeps -- same app or not -- reuse the warm
+    workers, whose module imports, plan caches and problem caches
+    persist.  Width is ``max_workers`` when given, else
+    ``os.cpu_count()`` capped by the sweep's shard count; a sweep
+    wanting a *wider* pool grows it in place (existing slots keep their
+    warmth and their keys), and a slot broken by a crashed worker is
+    respawned individually on the next sweep instead of failing forever.
+
+    Placement is sticky: each dataset's content key rendezvous-hashes to
+    a home slot (see :func:`home_slot`), so repeated sweeps land every
+    dataset on the same worker and its caches.  Load imbalance is
+    corrected by bounded deterministic work-stealing of whole batches.
 
     Use as a context manager for scoped pools, or share the module-level
     :func:`default_executor` across calls (``run_suite(...,
@@ -712,6 +1045,10 @@ class SweepExecutor:
     #: Default budget for the publish cache (bytes of live shm blocks).
     DEFAULT_SHM_CACHE_BYTES = 256 * 1024 * 1024
 
+    #: Default budget for the shared-oracle directory (bytes of live
+    #: published payload blocks); 0 disables cross-worker sharing.
+    DEFAULT_ORACLE_CACHE_BYTES = 256 * 1024 * 1024
+
     def __init__(
         self,
         max_workers: int | None = None,
@@ -719,6 +1056,7 @@ class SweepExecutor:
         transport: str = "auto",
         batch_atoms: int | None = None,
         shm_cache_bytes: int | None = None,
+        oracle_cache_bytes: int | None = None,
     ):
         if transport not in TRANSPORTS:
             raise ValueError(
@@ -731,11 +1069,16 @@ class SweepExecutor:
             self.DEFAULT_SHM_CACHE_BYTES if shm_cache_bytes is None
             else shm_cache_bytes
         )
-        self._pool: ProcessPoolExecutor | None = None
+        self.oracle_cache_bytes = (
+            self._oracle_budget_from_env() if oracle_cache_bytes is None
+            else int(oracle_cache_bytes)
+        )
+        self._slots: list[_WorkerSlot] = []
         self._width = 0
         self._lock = threading.Lock()
         self._shm_lock = threading.Lock()
         self._published: dict[tuple, _PublishedDataset] = {}
+        self._shared_oracles: dict[tuple, _SharedPayloadRecord] = {}
         self._clock = itertools.count()
         self.sweeps = 0
         self.batches = 0
@@ -743,64 +1086,107 @@ class SweepExecutor:
         self.pool_spawns = 0
         self.shm_published = 0
         self.shm_reused = 0
+        self.oracle_published = 0
+        self.oracle_reused = 0
+        self.oracle_evicted = 0
+        self.sticky_shards = 0
+        self.stolen_shards = 0
+
+    @classmethod
+    def _oracle_budget_from_env(cls) -> int:
+        raw = os.environ.get(SHARED_ORACLE_BYTES_ENV)
+        if not raw:
+            return cls.DEFAULT_ORACLE_CACHE_BYTES
+        try:
+            return int(raw)
+        except ValueError:
+            import warnings
+
+            warnings.warn(
+                f"ignoring non-integer {SHARED_ORACLE_BYTES_ENV}={raw!r}; "
+                f"using the default shared-oracle budget",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return cls.DEFAULT_ORACLE_CACHE_BYTES
 
     # -- pool lifecycle -------------------------------------------------
-    def _ensure_pool(self, num_shards: int) -> ProcessPoolExecutor:
-        with self._lock:
-            want = self.max_workers
-            if want is None:
-                want = min(os.cpu_count() or 1, max(1, num_shards))
-            want = max(1, want)
-            if self._pool is not None:
-                broken = getattr(self._pool, "_broken", False)
-                if not broken and self._width >= want:
-                    return self._pool  # reuse warmth over shrinking
-                # Grow to the new high-water width, or replace a pool a
-                # crashed worker has broken (BrokenProcessPool poisons a
-                # ProcessPoolExecutor permanently; respawning recovers).
-                self._pool.shutdown(wait=not broken)
-                self._pool = None
-            from .plan_cache import global_plan_cache
+    def _spawn_slot(self, index: int) -> _WorkerSlot:
+        from .plan_cache import global_plan_cache
 
-            cache = global_plan_cache()
-            self._pool = ProcessPoolExecutor(
-                max_workers=want,
+        cache = global_plan_cache()
+        return _WorkerSlot(
+            index=index,
+            pool=ProcessPoolExecutor(
+                max_workers=1,
                 initializer=_worker_warmup,
                 initargs=(
                     str(cache.cache_dir) if cache.cache_dir else None,
                     str(cache.store_path) if cache.store_path else None,
                 ),
-            )
-            self._width = want
-            self.pool_spawns += 1
-            return self._pool
+            ),
+        )
+
+    def _ensure_pool(self, num_shards: int) -> list[_WorkerSlot]:
+        with self._lock:
+            want = self.max_workers
+            if want is None:
+                want = min(os.cpu_count() or 1, max(1, num_shards))
+            want = max(1, want, len(self._slots))  # never shrink warmth
+            spawned = False
+            for i, slot in enumerate(self._slots):
+                if slot.broken:
+                    # A crashed worker poisons its ProcessPoolExecutor
+                    # permanently; respawn just that slot, in place, so
+                    # its keys stay home and the other slots stay warm.
+                    slot.pool.shutdown(wait=False)
+                    self._slots[i] = self._spawn_slot(i)
+                    spawned = True
+            while len(self._slots) < want:
+                self._slots.append(self._spawn_slot(len(self._slots)))
+                spawned = True
+            if spawned:
+                self.pool_spawns += 1
+            self._width = len(self._slots)
+            return self._slots
 
     @property
     def alive(self) -> bool:
-        return self._pool is not None
+        return bool(self._slots)
 
     @property
     def width(self) -> int:
         return self._width
 
+    def slot_pids(self) -> dict[int, int]:
+        """``slot index -> live worker pid`` (placement introspection)."""
+        self._ensure_pool(self._width or 1)
+        pids: dict[int, int] = {}
+        for slot in self._slots:
+            processes = getattr(slot.pool, "_processes", None)
+            if processes:  # stdlib-internal but stable; exact and instant
+                pids[slot.index] = next(iter(processes))
+            else:  # worker not forked yet: a probe forces the spawn
+                pids[slot.index] = slot.pool.submit(_worker_probe).result()
+        return pids
+
     def worker_pids(self) -> set[int]:
         """PIDs of the live worker processes (pool-persistence probes)."""
-        pool = self._ensure_pool(self._width or 1)
-        processes = getattr(pool, "_processes", None)
-        if processes:  # stdlib-internal but stable; exact and instant
-            return set(processes)
-        return set(pool.map(_worker_probe, range(self._width * 4)))
+        return set(self.slot_pids().values())
 
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=wait)
-                self._pool = None
-                self._width = 0
+            for slot in self._slots:
+                slot.pool.shutdown(wait=wait and not slot.broken)
+            self._slots = []
+            self._width = 0
         with self._shm_lock:
             for entry in self._published.values():
                 entry.unlink()
             self._published.clear()
+            for record in self._shared_oracles.values():
+                record.unlink()
+            self._shared_oracles.clear()
 
     def __enter__(self) -> "SweepExecutor":
         return self
@@ -832,59 +1218,66 @@ class SweepExecutor:
     #: would pack many tiny datasets into one straggler batch.
     _BATCH_BASE_WEIGHT = 2000
 
-    def _batch(self, tasks: list, width: int) -> list[tuple]:
-        """Split shards into contiguous weight-balanced batches.
+    #: Batches per home slot under quantile batching -- two, so work-
+    #: stealing has a unit smaller than "everything the slot owns".
+    _BATCHES_PER_SLOT = 2
 
-        ~2 batches per worker, boundaries at equal quantiles of the
-        cumulative weight (atoms plus a fixed per-dataset overhead) --
-        the merge-path idea, one level up: batches are the processors,
-        datasets the tiles.  ``batch_atoms`` overrides with a greedy
-        atom budget per batch.
+    #: A slot may exceed the mean sweep load by this factor before its
+    #: batches are stolen; below it, stickiness wins over balance.
+    _STEAL_FACTOR = 1.25
+
+    def _batch_group(self, group: list) -> list[list]:
+        """Split one home group into contiguous weight-balanced batches.
+
+        ~:data:`_BATCHES_PER_SLOT` batches per slot, boundaries at equal
+        quantiles of the cumulative weight (atoms plus a fixed per-
+        dataset overhead) -- the merge-path idea, one level up: batches
+        are the processors, datasets the tiles.  ``batch_atoms``
+        overrides with a greedy atom budget per batch.
         """
+        if not group:
+            return []
         if self.batch_atoms is not None:
-            batches: list[tuple] = []
+            batches: list[list] = []
             cur: list = []
             cur_atoms = 0
-            for task in tasks:
-                cur.append(task)
-                cur_atoms += self._payload_atoms(task)
+            for shard in group:
+                cur.append(shard)
+                cur_atoms += shard.atoms
                 if cur_atoms >= self.batch_atoms:
-                    batches.append(tuple(cur))
+                    batches.append(cur)
                     cur, cur_atoms = [], 0
             if cur:
-                batches.append(tuple(cur))
+                batches.append(cur)
             return batches
-        weights = np.array(
-            [self._payload_atoms(t) + self._BATCH_BASE_WEIGHT for t in tasks],
-            dtype=np.float64,
-        )
-        num_batches = min(len(tasks), max(1, 2 * width))
+        weights = np.array([s.weight for s in group], dtype=np.float64)
+        num_batches = min(len(group), max(1, self._BATCHES_PER_SLOT))
         cum = np.cumsum(weights)
         quantiles = cum[-1] * np.arange(1, num_batches) / num_batches
-        bounds = [0, *np.searchsorted(cum, quantiles, side="left"), len(tasks)]
+        bounds = [0, *np.searchsorted(cum, quantiles, side="left"), len(group)]
         return [
-            tuple(tasks[lo:hi])
+            group[lo:hi]
             for lo, hi in zip(bounds, bounds[1:])
             if hi > lo
         ]
 
     def _stage(self, tasks: list, transport: str) -> tuple[list, list]:
-        """Swap dataset payloads for shm handles where the transport allows.
+        """Fingerprint every dataset and swap payloads for shm handles.
 
-        Publishing goes through the executor's content-keyed cache:
-        repeated sweeps of the same corpus pin the already-published
-        blocks instead of copying again.  Returns ``(staged_tasks,
-        pinned_entries)``; the caller unpins after the sweep.
+        One pack + CRC pass per dataset yields the content key that
+        drives *all three* reuse layers -- the publish cache, sticky
+        placement, and the shared-oracle directory -- so it is computed
+        for the pickle transport too.  Publishing goes through the
+        executor's content-keyed cache: repeated sweeps of the same
+        corpus pin the already-published blocks instead of copying
+        again.  Returns ``(staged_shards, pinned_entries)``; the caller
+        unpins after the sweep.
         """
-        if transport == "pickle":
-            return list(tasks), []
-        staged = []
+        staged: list[_StagedShard] = []
         pinned: list[_PublishedDataset] = []
         try:
             with self._shm_lock:
-                for task in tasks:
-                    # One pack + CRC pass per dataset: the content key
-                    # and a (possible) publish share the same bundle.
+                for index, task in enumerate(tasks):
                     bundle = _pack_bundle(task.dataset)
                     if bundle is None:
                         key = crcs = None
@@ -894,13 +1287,21 @@ class SweepExecutor:
                         key = _bundle_key(
                             task.dataset.name, codec, arrays, crcs, extra
                         )
-                    entry = None if key is None else self._published.get(key)
-                    if entry is None:
-                        pub = None if key is None else publish_dataset(
-                            task.dataset, _bundle=bundle, _crcs=crcs
+                    atoms = self._payload_atoms(task)
+                    staged_task = task
+                    if transport != "pickle":
+                        entry = (
+                            None if key is None else self._published.get(key)
                         )
-                        if pub is None:
-                            if transport == "shm":
+                        if entry is None:
+                            pub = None if key is None else publish_dataset(
+                                task.dataset, _bundle=bundle, _crcs=crcs
+                            )
+                            if pub is not None:
+                                entry = pub
+                                self._published[key] = entry
+                                self.shm_published += 1
+                            elif transport == "shm":
                                 raise ValueError(
                                     f"dataset {task.dataset.name!r} cannot "
                                     f"travel over shared memory (no "
@@ -908,17 +1309,20 @@ class SweepExecutor:
                                     f"payload, or shm is unavailable); use "
                                     f"'auto' to fall back to pickling"
                                 )
-                            staged.append(task)
-                            continue
-                        entry = pub
-                        self._published[key] = entry
-                        self.shm_published += 1
-                    else:
-                        self.shm_reused += 1
-                    entry.pins += 1
-                    entry.tick = next(self._clock)
-                    pinned.append(entry)
-                    staged.append(replace(task, dataset=entry.handle))
+                        else:
+                            self.shm_reused += 1
+                        if entry is not None:
+                            entry.pins += 1
+                            entry.tick = next(self._clock)
+                            pinned.append(entry)
+                            staged_task = replace(task, dataset=entry.handle)
+                    staged.append(_StagedShard(
+                        task=staged_task,
+                        index=index,
+                        dataset_key=key,
+                        atoms=atoms,
+                        weight=atoms + self._BATCH_BASE_WEIGHT,
+                    ))
         except Exception:
             self._unpin(pinned)
             raise
@@ -943,13 +1347,191 @@ class SweepExecutor:
                 del self._published[key]
                 total -= entry.nbytes
 
+    # -- shared-oracle directory -----------------------------------------
+    def _problem_key(self, shard: _StagedShard) -> tuple | None:
+        """The worker-side problem-cache key this shard will look up."""
+        if shard.dataset_key is None:
+            return None
+        task = shard.task
+        return (task.app, shard.dataset_key, task.seed, task.validate)
+
+    def _oracle_handles(self, staged: list) -> tuple[dict, list]:
+        """Published handles for shards whose oracle some worker built.
+
+        Returns ``(shard index -> handle, pinned records)``; pins hold
+        eviction off while the handles are in flight.
+        """
+        handles: dict[int, SharedPayloadHandle] = {}
+        pinned: list[_SharedPayloadRecord] = []
+        if self.oracle_cache_bytes <= 0:
+            return handles, pinned
+        with self._shm_lock:
+            for shard in staged:
+                key = self._problem_key(shard)
+                if key is None:
+                    continue
+                record = self._shared_oracles.get(key)
+                if record is None:
+                    continue
+                record.pins += 1
+                record.tick = next(self._clock)
+                pinned.append(record)
+                handles[shard.index] = record.handle
+                self.oracle_reused += 1
+        return handles, pinned
+
+    def _adopt_publications(self, publications: list) -> None:
+        """Take ownership of worker-published oracle blocks."""
+        if not publications:
+            return
+        with self._shm_lock:
+            for key, handle in publications:
+                if (
+                    self.oracle_cache_bytes <= 0
+                    or key in self._shared_oracles
+                ):
+                    # Racing workers can build the same oracle in one
+                    # sweep; first one in wins, duplicates are reclaimed.
+                    _unlink_block(handle.shm_name)
+                    continue
+                record = _SharedPayloadRecord(handle)
+                record.tick = next(self._clock)
+                self._shared_oracles[key] = record
+                self.oracle_published += 1
+            self._evict_oracles_locked()
+
+    def _evict_oracles_locked(self) -> None:
+        total = sum(r.nbytes for r in self._shared_oracles.values())
+        if total <= self.oracle_cache_bytes:
+            return
+        for key, record in sorted(
+            self._shared_oracles.items(), key=lambda kv: kv[1].tick
+        ):
+            if total <= self.oracle_cache_bytes:
+                break
+            if record.pins > 0:
+                continue
+            record.unlink()
+            del self._shared_oracles[key]
+            total -= record.nbytes
+            self.oracle_evicted += 1
+
+    def _unpin_oracles(self, pinned: list) -> None:
+        with self._shm_lock:
+            for record in pinned:
+                record.pins -= 1
+            self._evict_oracles_locked()
+
+    # -- placement --------------------------------------------------------
+    def _assign(self, staged: list, share_oracles: bool,
+                oracle_handles: dict) -> list[tuple]:
+        """Place every staged shard: home slots, batches, work-stealing.
+
+        Returns ``[(executing slot, (batch items...)), ...]``.  Homes
+        come from rendezvous hashing the dataset content key (falling
+        back to the dataset name for unfingerprintable payloads); each
+        home group is batched contiguously, then whole batches are
+        stolen -- deterministically, boundedly -- from slots whose load
+        exceeds :data:`_STEAL_FACTOR` times the mean.
+        """
+        width = max(1, self._width)
+        groups: list[list] = [[] for _ in range(width)]
+        for shard in staged:
+            key = shard.dataset_key
+            if key is None:
+                dataset = shard.task.dataset
+                key = (
+                    "unbundled",
+                    getattr(dataset, "name", None)
+                    or getattr(dataset, "dataset_name", ""),
+                )
+            shard.home = home_slot(key, width)
+            groups[shard.home].append(shard)
+        # (batch, stolen?) lists per executing slot.
+        batches: list[list] = [
+            [[batch, False] for batch in self._batch_group(group)]
+            for group in groups
+        ]
+        loads = [
+            sum(shard.weight for batch, _ in slot for shard in batch)
+            for slot in batches
+        ]
+        mean = sum(loads) / width
+
+        def batch_weight(batch: list) -> float:
+            return sum(shard.weight for shard in batch)
+
+        steals = 0
+        while width > 1 and mean > 0 and steals < 2 * width:
+            donor = max(range(width), key=loads.__getitem__)
+            thief = min(range(width), key=loads.__getitem__)
+            if donor == thief or loads[donor] <= self._STEAL_FACTOR * mean:
+                break
+            donor_batches = batches[donor]
+            if len(donor_batches) == 1 and len(donor_batches[0][0]) > 1:
+                # One oversized batch: split it at the weight midpoint
+                # so the next round has a stealable unit.
+                batch, stolen = donor_batches.pop(0)
+                half = batch_weight(batch) / 2.0
+                acc = 0.0
+                cut = 1
+                for i, shard in enumerate(batch[:-1]):
+                    acc += shard.weight
+                    if acc >= half:
+                        cut = i + 1
+                        break
+                donor_batches.append([batch[:cut], stolen])
+                donor_batches.append([batch[cut:], stolen])
+                continue
+            if len(donor_batches) <= 1:
+                break  # a single indivisible shard: nothing to steal
+            lightest = min(
+                range(len(donor_batches)),
+                key=lambda i: batch_weight(donor_batches[i][0]),
+            )
+            weight = batch_weight(donor_batches[lightest][0])
+            if loads[thief] + weight >= loads[donor]:
+                break  # moving it would not narrow the spread
+            batch, _ = donor_batches.pop(lightest)
+            batches[thief].append([batch, True])
+            loads[donor] -= weight
+            loads[thief] += weight
+            steals += 1
+
+        placed: list[tuple] = []
+        for slot in range(width):
+            for batch, stolen in batches[slot]:
+                items = tuple(
+                    _BatchItem(
+                        task=shard.task,
+                        index=shard.index,
+                        dataset_key=shard.dataset_key,
+                        placement={
+                            "home": shard.home,
+                            "slot": slot,
+                            "mode": "stolen" if stolen else "sticky",
+                        },
+                        oracle=oracle_handles.get(shard.index),
+                        publish=share_oracles,
+                    )
+                    for shard in batch
+                )
+                if stolen:
+                    self.stolen_shards += len(items)
+                else:
+                    self.sticky_shards += len(items)
+                placed.append((slot, items))
+        return placed
+
     # -- execution ------------------------------------------------------
     def map_shards(self, tasks, *, transport: str | None = None) -> list[list]:
         """Run every shard task; return per-shard row lists in order.
 
         Equivalent to ``[ _run_shard(t) for t in tasks ]`` but fanned out
-        over the (persistent) pool, with batching and the configured
-        dataset transport.  Exceptions raised inside a worker propagate.
+        over the (persistent) pool, with sticky placement, batching and
+        the configured dataset transport.  Exceptions raised inside a
+        worker propagate (after every in-flight batch settles, so
+        successful batches' oracle publications are never leaked).
         """
         tasks = list(tasks)
         if not tasks:
@@ -959,22 +1541,46 @@ class SweepExecutor:
             raise ValueError(
                 f"unknown transport {transport!r}; choose from {TRANSPORTS}"
             )
-        pool = self._ensure_pool(len(tasks))
+        self._ensure_pool(len(tasks))
         staged, pinned = self._stage(tasks, transport)
-        batches = self._batch(staged, self._width)
+        share_oracles = self.oracle_cache_bytes > 0
+        oracle_handles, oracle_pinned = self._oracle_handles(staged)
+        placed = self._assign(staged, share_oracles, oracle_handles)
+        results: dict[int, list] = {}
+        error: BaseException | None = None
         try:
-            per_batch = list(pool.map(_run_batch, batches))
+            futures = [
+                (self._slots[slot].pool.submit(_run_batch, items), items)
+                for slot, items in placed
+            ]
+            for future, items in futures:
+                try:
+                    shard_rows, publications = future.result()
+                except BaseException as exc:
+                    if error is None:
+                        error = exc
+                    continue
+                self._adopt_publications(publications)
+                for item, rows in zip(items, shard_rows):
+                    results[item.index] = rows
         finally:
             self._unpin(pinned)
+            self._unpin_oracles(oracle_pinned)
+        if error is not None:
+            raise error
         self.sweeps += 1
-        self.batches += len(batches)
+        self.batches += len(placed)
         self.shards += len(tasks)
-        return [shard_rows for batch in per_batch for shard_rows in batch]
+        return [results[index] for index in range(len(tasks))]
 
     def info(self) -> dict:
         with self._shm_lock:
             shm_cached = len(self._published)
             shm_cached_bytes = sum(e.nbytes for e in self._published.values())
+            oracle_cached = len(self._shared_oracles)
+            oracle_cached_bytes = sum(
+                r.nbytes for r in self._shared_oracles.values()
+            )
         return {
             "alive": self.alive,
             "width": self._width,
@@ -987,6 +1593,13 @@ class SweepExecutor:
             "shm_reused": self.shm_reused,
             "shm_cached": shm_cached,
             "shm_cached_bytes": shm_cached_bytes,
+            "oracle_published": self.oracle_published,
+            "oracle_reused": self.oracle_reused,
+            "oracle_evicted": self.oracle_evicted,
+            "oracle_cached": oracle_cached,
+            "oracle_cached_bytes": oracle_cached_bytes,
+            "sticky_shards": self.sticky_shards,
+            "stolen_shards": self.stolen_shards,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

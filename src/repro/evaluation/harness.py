@@ -309,7 +309,13 @@ class _ShardTask:
         )
 
 
-def _run_shard(task: _ShardTask, *, dataset_key: tuple | None = None) -> list[SweepRow]:
+def _run_shard(
+    task: _ShardTask,
+    *,
+    dataset_key: tuple | None = None,
+    shared_oracle=None,
+    publications: list | None = None,
+) -> list[SweepRow]:
     """Process-pool worker: run every kernel of one (app, dataset) shard.
 
     ``dataset_key`` is the dataset's content fingerprint when the caller
@@ -318,9 +324,22 @@ def _run_shard(task: _ShardTask, *, dataset_key: tuple | None = None) -> list[Sw
     oracle from the worker-resident :class:`~repro.engine.worker_pool.
     ProblemCache`, so steady-state sweeps on a warm pool skip both
     rebuilds; every row's ``meta`` records the ``problem_cache`` outcome
-    plus the worker's running hit/miss counters.
+    plus the worker's running hit/miss/attach/publish counters.
+
+    Cross-worker sharing: on a local miss, ``shared_oracle`` (a
+    :class:`~repro.engine.worker_pool.SharedPayloadHandle` some other
+    worker published) is attached instead of recomputing the oracle
+    (status ``"attach"``); and when ``publications`` is a list, a
+    locally-built oracle is published to shm and its ``(cache key,
+    handle)`` appended for the parent to adopt.  Both are best-effort --
+    any failure falls back to the local build, never changes results.
     """
-    from ..engine.worker_pool import dataset_content_key, problem_cache
+    from ..engine.worker_pool import (
+        attach_payload,
+        dataset_content_key,
+        problem_cache,
+        publish_payload,
+    )
 
     ctx = task.context()
     if ctx.plan_store is not None:
@@ -352,12 +371,29 @@ def _run_shard(task: _ShardTask, *, dataset_key: tuple | None = None) -> list[Sw
         problem, expected = cached
     else:
         problem = _build_problem(app_spec, task.app, task.dataset, task.seed)
-        expected = (
-            app_spec.oracle(problem)
-            if task.validate and app_spec.oracle is not None
-            else None
-        )
-        if status == "miss":
+        expected = None
+        if task.validate and app_spec.oracle is not None:
+            if status == "miss" and shared_oracle is not None:
+                # Some other worker already built this oracle: attach
+                # the published copy instead of recomputing (zero-copy
+                # for bundle codecs).  ``None`` means the block vanished
+                # or failed its checks -- rebuild locally.
+                expected = attach_payload(shared_oracle)
+            if expected is not None:
+                status = "attach"
+                cache.attaches += 1
+            else:
+                expected = app_spec.oracle(problem)
+                if (
+                    status == "miss"
+                    and publications is not None
+                    and expected is not None
+                ):
+                    handle = publish_payload(expected)
+                    if handle is not None:
+                        publications.append((cache_key, handle))
+                        cache.publishes += 1
+        if status in ("miss", "attach"):
             cache.store(cache_key, problem, expected)
     rows = [
         _execute_cell(
@@ -377,6 +413,8 @@ def _run_shard(task: _ShardTask, *, dataset_key: tuple | None = None) -> list[Sw
         row.meta["problem_cache"] = status
         row.meta["problem_cache_hits"] = cache.hits
         row.meta["problem_cache_misses"] = cache.misses
+        row.meta["problem_cache_attaches"] = cache.attaches
+        row.meta["problem_cache_publishes"] = cache.publishes
     return rows
 
 

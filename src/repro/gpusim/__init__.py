@@ -22,6 +22,7 @@ from .arch import (
     TINY_GPU,
     V100,
     CostParams,
+    GpuLinkSpec,
     GpuSpec,
     get_spec,
 )
@@ -32,7 +33,12 @@ from .cost_model import (
     warp_fold,
 )
 from .cooperative_groups import ThreadGroup, tiled_partition, valid_group_size
-from .multi_gpu import MultiGpuStats, multi_gpu_plan, partition_tiles
+from .multi_gpu import (
+    MultiGpuStats,
+    multi_gpu_plan,
+    partition_tiles,
+    transfer_overhead_cycles,
+)
 from .profiler import ProfileLog, geomean
 from .simt import LaunchResult, SimtError, ThreadCtx, launch_interpreted
 from .sm_scheduler import ScheduleOutcome, block_cycles_from_warps, schedule_blocks
@@ -44,6 +50,7 @@ __all__ = [
     "TINY_GPU",
     "V100",
     "CostParams",
+    "GpuLinkSpec",
     "GpuSpec",
     "get_spec",
     "KernelStats",
@@ -56,6 +63,7 @@ __all__ = [
     "MultiGpuStats",
     "multi_gpu_plan",
     "partition_tiles",
+    "transfer_overhead_cycles",
     "ProfileLog",
     "geomean",
     "LaunchResult",

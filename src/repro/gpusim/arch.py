@@ -83,6 +83,54 @@ class CostParams:
 
 
 @dataclass(frozen=True)
+class GpuLinkSpec:
+    """Inter-device interconnect model for multi-GPU ensembles.
+
+    Replaces the flat per-device offload constant with a P2P topology:
+    each device's result shard is gathered back to device 0, paying a
+    per-hop link latency plus its gather volume over the link bandwidth.
+    Two topologies cover the common cases -- ``"all_to_all"`` (NVLink-
+    switch-style, every pair one hop) and ``"ring"`` (hops = shortest
+    ring distance).  Frozen and hashable, like :class:`GpuSpec` itself,
+    so linked specs still work as plan-cache keys.
+
+    Attributes
+    ----------
+    topology:
+        ``"all_to_all"`` or ``"ring"``.
+    bandwidth_bytes_per_cycle:
+        Sustained P2P link bandwidth in bytes per device-clock cycle
+        (NVLink2 ~25 GB/s/direction at 1.38 GHz is ~18 bytes/cycle).
+    latency_cycles:
+        Fixed per-transfer link latency, charged once per hop.
+    """
+
+    topology: str = "all_to_all"
+    bandwidth_bytes_per_cycle: float = 18.0
+    latency_cycles: float = 700.0
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("all_to_all", "ring"):
+            raise ValueError(
+                f"unknown link topology {self.topology!r}; "
+                f"choose 'all_to_all' or 'ring'"
+            )
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("bandwidth_bytes_per_cycle must be positive")
+        if self.latency_cycles < 0:
+            raise ValueError("latency_cycles must be non-negative")
+
+    def hops(self, src: int, dst: int, num_devices: int) -> int:
+        """Link hops between two devices under this topology."""
+        if src == dst:
+            return 0
+        if self.topology == "all_to_all":
+            return 1
+        distance = abs(src - dst) % num_devices
+        return min(distance, num_devices - distance)
+
+
+@dataclass(frozen=True)
 class GpuSpec:
     """A simulated GPU.
 
@@ -107,6 +155,11 @@ class GpuSpec:
     #: well-balanced schedules converge on large regular inputs.
     dram_bytes_per_cycle: float = 650.0
     costs: CostParams = field(default_factory=CostParams)
+    #: Inter-device interconnect for multi-GPU ensembles.  ``None`` keeps
+    #: the legacy flat per-device offload overhead (exact parity with
+    #: pre-link timing); a :class:`GpuLinkSpec` prices the result gather
+    #: over an explicit P2P topology instead.
+    link: "GpuLinkSpec | None" = None
 
     def __post_init__(self) -> None:
         if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):

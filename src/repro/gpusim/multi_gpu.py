@@ -17,8 +17,11 @@ partitioners are provided:
   GPU boundary" unchanged.
 
 Each device then runs its intra-device schedule on its shard; the
-ensemble time is the slowest device plus a per-device offload overhead
-(host dispatch + result gather).
+ensemble time is the slowest device plus the inter-device transfer
+cost.  With no :class:`~repro.gpusim.arch.GpuLinkSpec` on the spec the
+transfer term is the legacy flat per-device offload overhead (host
+dispatch + result gather); with a link it is priced per device as hops
+x (link latency + gather volume / link bandwidth) back to device 0.
 """
 
 from __future__ import annotations
@@ -30,11 +33,50 @@ import numpy as np
 from .arch import GpuSpec
 from .cost_model import KernelStats
 
-__all__ = ["MultiGpuStats", "partition_tiles", "multi_gpu_plan"]
+__all__ = [
+    "MultiGpuStats",
+    "partition_tiles",
+    "multi_gpu_plan",
+    "transfer_overhead_cycles",
+]
 
 #: Host-side cost of dispatching to / gathering from one extra device,
-#: in cycles of the (homogeneous) device clock.
+#: in cycles of the (homogeneous) device clock.  Used when the spec has
+#: no link topology (the legacy flat model).
 PER_DEVICE_OVERHEAD_CYCLES = 2500.0
+
+#: Result-gather volume per tile: each tile contributes one 8-byte
+#: output element that must travel back to device 0 under a link model.
+GATHER_BYTES_PER_TILE = 8.0
+
+
+def transfer_overhead_cycles(
+    spec: GpuSpec, shards, num_devices: int
+) -> tuple[float, float]:
+    """Inter-device transfer cost of gathering results to device 0.
+
+    Returns ``(cycles, gather_bytes)``.  With no link on the spec this
+    is the flat legacy term (``PER_DEVICE_OVERHEAD_CYCLES`` per device,
+    volume-blind); with a :class:`~repro.gpusim.arch.GpuLinkSpec` each
+    non-root device pays ``hops * (latency + volume / bandwidth)`` where
+    volume is its shard's tile count times :data:`GATHER_BYTES_PER_TILE`
+    -- device 0's shard never crosses a link.
+    """
+    link = spec.link
+    if link is None:
+        return PER_DEVICE_OVERHEAD_CYCLES * num_devices, 0.0
+    cycles = 0.0
+    gather_bytes = 0.0
+    for device, (_atoms, tiles) in enumerate(shards):
+        hops = link.hops(device, 0, num_devices)
+        if hops == 0:
+            continue
+        volume = float(tiles) * GATHER_BYTES_PER_TILE
+        gather_bytes += volume
+        cycles += hops * (
+            link.latency_cycles + volume / link.bandwidth_bytes_per_cycle
+        )
+    return cycles, gather_bytes
 
 
 @dataclass(frozen=True)
@@ -130,7 +172,18 @@ def multi_gpu_plan(
     if not device_stats:
         raise ValueError("empty workload: nothing to plan")
     times = np.array([s.elapsed_ms for s in device_stats])
-    overhead_ms = spec.cycles_to_ms(PER_DEVICE_OVERHEAD_CYCLES) * num_devices
+    if spec.link is None:
+        # Bit-exact legacy expression: zero-topology specs must
+        # reproduce pre-link ensemble timing to the last ulp.
+        overhead_ms = spec.cycles_to_ms(PER_DEVICE_OVERHEAD_CYCLES) * num_devices
+        gather_bytes = 0.0
+        transfer_model = "flat"
+    else:
+        cycles, gather_bytes = transfer_overhead_cycles(
+            spec, shards, num_devices
+        )
+        overhead_ms = spec.cycles_to_ms(cycles)
+        transfer_model = spec.link.topology
     elapsed = float(times.max()) + overhead_ms
     return MultiGpuStats(
         elapsed_ms=elapsed,
@@ -138,5 +191,11 @@ def multi_gpu_plan(
         device_stats=tuple(device_stats),
         shards=tuple(shards),
         device_imbalance=float(times.max() / times.mean()),
-        extras={"partition": partition, "schedule": schedule},
+        extras={
+            "partition": partition,
+            "schedule": schedule,
+            "transfer_model": transfer_model,
+            "transfer_ms": overhead_ms,
+            "gather_bytes": gather_bytes,
+        },
     )

@@ -194,6 +194,63 @@ class TestInfoCommands:
             assert name in out
 
 
+class TestPlansCommand:
+    @pytest.fixture
+    def journal(self, tmp_path):
+        from repro.engine import PlanStore
+
+        path = tmp_path / "plans.journal"
+        store = PlanStore(path)
+        for v in range(5):
+            store.put(("hot",), v)  # 4 dead records
+        store.put(("cold",), 0)
+        store.close()
+        return path
+
+    def test_info_reports_live_and_dead(self, journal):
+        code, out = run_cli("plans", str(journal))
+        assert code == 0
+        assert "2 live, 4 dead" in out
+        assert str(journal) in out
+        assert "scan damage:  no" in out
+
+    def test_compact_drops_dead_records(self, journal):
+        size_before = journal.stat().st_size
+        code, out = run_cli("plans", "compact", str(journal))
+        assert code == 0
+        assert "dropped 4 dead records" in out
+        assert journal.stat().st_size < size_before
+        code, out = run_cli("plans", str(journal))
+        assert code == 0
+        assert "2 live, 0 dead" in out
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        code, _ = run_cli("plans", str(tmp_path / "nope.journal"))
+        assert code == 2
+        assert "no plan store" in capsys.readouterr().err
+
+    def test_directory_exits_2(self, tmp_path, capsys):
+        code, _ = run_cli("plans", str(tmp_path))
+        assert code == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_foreign_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "notes.txt"
+        path.write_bytes(b"not a journal at all")
+        code, _ = run_cli("plans", str(path))
+        assert code == 2
+        assert "bad header" in capsys.readouterr().err
+
+    def test_compact_missing_path_exits_2(self, tmp_path, capsys):
+        code, _ = run_cli("plans", "compact", str(tmp_path / "nope"))
+        assert code == 2
+
+    def test_too_many_arguments_exits_2(self, journal, capsys):
+        code, _ = run_cli("plans", str(journal), "extra")
+        assert code == 2
+        assert "usage" in capsys.readouterr().err
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,12 +1,20 @@
 """Tests for the multi-GPU future-work extension."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.apps.common import spmv_costs
 from repro.core.work import WorkSpec
-from repro.gpusim.arch import V100
-from repro.gpusim.multi_gpu import multi_gpu_plan, partition_tiles
+from repro.gpusim.arch import V100, GpuLinkSpec
+from repro.gpusim.multi_gpu import (
+    GATHER_BYTES_PER_TILE,
+    PER_DEVICE_OVERHEAD_CYCLES,
+    multi_gpu_plan,
+    partition_tiles,
+    transfer_overhead_cycles,
+)
 from repro.sparse import generators as gen
 
 
@@ -88,3 +96,94 @@ class TestMultiGpuPlan:
         plan = multi_gpu_plan(self._work(), spmv_costs(V100), num_devices=8)
         assert plan.device_imbalance >= 1.0
         assert plan.speedup_vs_slowest_possible >= 1.0
+
+
+class TestGpuLinkSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="topology"):
+            GpuLinkSpec(topology="star")
+        with pytest.raises(ValueError, match="bandwidth"):
+            GpuLinkSpec(bandwidth_bytes_per_cycle=0)
+        with pytest.raises(ValueError, match="latency"):
+            GpuLinkSpec(latency_cycles=-1)
+
+    def test_hops(self):
+        all2all = GpuLinkSpec(topology="all_to_all")
+        ring = GpuLinkSpec(topology="ring")
+        assert all2all.hops(3, 3, 4) == 0
+        assert all2all.hops(3, 0, 4) == 1
+        assert ring.hops(1, 0, 4) == 1
+        assert ring.hops(2, 0, 4) == 2
+        assert ring.hops(3, 0, 4) == 1  # the short way round
+
+    def test_linked_spec_stays_hashable(self):
+        """Specs key plan caches; adding a link must not break that."""
+        spec = dataclasses.replace(V100, link=GpuLinkSpec())
+        assert hash(spec) != hash(V100)
+        assert spec == dataclasses.replace(V100, link=GpuLinkSpec())
+
+
+class TestTransferModel:
+    def _work(self):
+        return WorkSpec.from_csr(gen.power_law(8000, 8000, 10.0, 1.8, seed=0))
+
+    def test_no_link_reproduces_flat_overhead_exactly(self):
+        """Zero-topology parity: a spec without a link must price the
+        ensemble bit-for-bit as the legacy flat per-device model."""
+        plan = multi_gpu_plan(self._work(), spmv_costs(V100), num_devices=4)
+        times = [s.elapsed_ms for s in plan.device_stats]
+        legacy = max(times) + V100.cycles_to_ms(PER_DEVICE_OVERHEAD_CYCLES) * 4
+        assert plan.elapsed_ms == legacy
+        assert plan.extras["transfer_model"] == "flat"
+        assert plan.extras["gather_bytes"] == 0.0
+
+    def test_flat_cycles_helper_matches_constant(self):
+        cycles, volume = transfer_overhead_cycles(V100, [(10, 5)] * 4, 4)
+        assert cycles == PER_DEVICE_OVERHEAD_CYCLES * 4
+        assert volume == 0.0
+
+    def test_linked_gather_prices_volume_and_hops(self):
+        link = GpuLinkSpec(
+            topology="all_to_all", bandwidth_bytes_per_cycle=16.0,
+            latency_cycles=100.0,
+        )
+        spec = dataclasses.replace(V100, link=link)
+        shards = [(0, 10), (0, 20), (0, 30)]  # (atoms, tiles) per device
+        cycles, volume = transfer_overhead_cycles(spec, shards, 3)
+        # Device 0 gathers nothing; devices 1 and 2 pay one hop each.
+        expected_volume = (20 + 30) * GATHER_BYTES_PER_TILE
+        assert volume == expected_volume
+        assert cycles == pytest.approx(
+            2 * 100.0 + expected_volume / 16.0
+        )
+
+    def test_ring_costs_at_least_all_to_all(self):
+        work = self._work()
+        costs = spmv_costs(V100)
+        base = dict(num_devices=4, partition="merge_path")
+        flat = multi_gpu_plan(work, costs, **base)
+        a2a = multi_gpu_plan(
+            work, costs,
+            spec=dataclasses.replace(V100, link=GpuLinkSpec()), **base,
+        )
+        ring = multi_gpu_plan(
+            work, costs,
+            spec=dataclasses.replace(V100, link=GpuLinkSpec(topology="ring")),
+            **base,
+        )
+        # Device 2 is two hops from the root on a 4-ring, one hop on a
+        # switch; everything else equal, the ring gather costs more.
+        assert ring.extras["transfer_ms"] > a2a.extras["transfer_ms"]
+        assert ring.extras["transfer_model"] == "ring"
+        assert a2a.extras["transfer_model"] == "all_to_all"
+        # The transfer term is the only difference from the flat plan.
+        flat_compute = flat.elapsed_ms - flat.extras["transfer_ms"]
+        a2a_compute = a2a.elapsed_ms - a2a.extras["transfer_ms"]
+        assert a2a_compute == pytest.approx(flat_compute)
+
+    def test_gather_volume_scales_with_tiles(self):
+        link = GpuLinkSpec()
+        spec = dataclasses.replace(V100, link=link)
+        small = transfer_overhead_cycles(spec, [(0, 10), (0, 10)], 2)
+        large = transfer_overhead_cycles(spec, [(0, 10), (0, 10_000)], 2)
+        assert large[0] > small[0] and large[1] > small[1]

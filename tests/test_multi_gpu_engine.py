@@ -110,6 +110,28 @@ class TestMultiGpuEngine:
         assert len(extras["shards"]) == 4
         assert sum(a for a, _ in extras["shards"]) == problem.matrix.nnz
         assert extras["device_imbalance"] >= 1.0
+        assert extras["transfer_model"] == "flat"  # V100 has no link
+        assert extras["transfer_ms"] > 0
+        assert extras["gather_bytes"] == 0.0
+
+    def test_linked_spec_prices_the_gather_through_the_engine(self):
+        import dataclasses
+
+        from repro.gpusim.arch import GpuLinkSpec
+
+        app, problem = self._spmv_parts()
+        linked = dataclasses.replace(V100, link=GpuLinkSpec())
+        flat = run_app(app, problem, ctx=ExecutionContext(spec=V100, gpus=4))
+        r = run_app(app, problem, ctx=ExecutionContext(spec=linked, gpus=4))
+        assert r.stats.extras["transfer_model"] == "all_to_all"
+        assert r.stats.extras["gather_bytes"] > 0
+        # The link changes only the transfer term, never the output or
+        # the per-device compute time.
+        assert np.array_equal(r.output, flat.output)
+        assert (
+            r.elapsed_ms - r.stats.extras["transfer_ms"]
+            == pytest.approx(flat.elapsed_ms - flat.stats.extras["transfer_ms"])
+        )
 
     def test_large_workload_scales_down_elapsed(self):
         """With enough work, four devices beat one despite the overhead."""

@@ -188,6 +188,66 @@ class TestCompaction:
         assert store.get(("a",)) == 1 and store.get(("b",)) == 2
 
 
+class TestAutoCompaction:
+    def test_put_auto_compacts_past_the_dead_ratio(self, tmp_path):
+        from repro.engine.plan_store import AUTO_COMPACT_MIN_DEAD
+
+        path = tmp_path / "plans.journal"
+        store = PlanStore(path)
+        # Rewrite one key until the dead-record floor is crossed; with
+        # the default ratio (0.5) the journal then compacts itself.
+        for v in range(AUTO_COMPACT_MIN_DEAD + 2):
+            store.put(("hot",), v)
+        assert store.auto_compactions >= 1
+        assert store.dead_records < AUTO_COMPACT_MIN_DEAD
+        assert store.get(("hot",)) == AUTO_COMPACT_MIN_DEAD + 1
+        assert store.info()["auto_compactions"] == store.auto_compactions
+
+    def test_small_journals_never_auto_compact(self, tmp_path):
+        """Ratio alone would thrash tiny journals ("50% dead" after two
+        puts of one key); the dead-record floor keeps them alone."""
+        store = PlanStore(tmp_path / "plans.journal")
+        for v in range(10):
+            store.put(("k",), v)
+        assert store.auto_compactions == 0
+        assert store.dead_records == 9
+
+    def test_non_positive_ratio_disables_auto_compaction(self, tmp_path):
+        from repro.engine.plan_store import AUTO_COMPACT_MIN_DEAD
+
+        store = PlanStore(tmp_path / "plans.journal", compact_ratio=0)
+        for v in range(AUTO_COMPACT_MIN_DEAD + 16):
+            store.put(("k",), v)
+        assert store.auto_compactions == 0
+        assert store.dead_records == AUTO_COMPACT_MIN_DEAD + 15
+
+    def test_ratio_env_knob(self, tmp_path, monkeypatch):
+        from repro.engine.plan_store import PLAN_STORE_COMPACT_RATIO_ENV
+
+        monkeypatch.setenv(PLAN_STORE_COMPACT_RATIO_ENV, "0.25")
+        assert PlanStore(tmp_path / "a.journal").compact_ratio == 0.25
+        monkeypatch.setenv(PLAN_STORE_COMPACT_RATIO_ENV, "0")
+        assert PlanStore(tmp_path / "b.journal").compact_ratio == 0
+
+    def test_malformed_ratio_env_warns_and_defaults(self, tmp_path, monkeypatch):
+        from repro.engine.plan_store import (
+            DEFAULT_COMPACT_RATIO,
+            PLAN_STORE_COMPACT_RATIO_ENV,
+        )
+
+        monkeypatch.setenv(PLAN_STORE_COMPACT_RATIO_ENV, "half")
+        with pytest.warns(RuntimeWarning, match="COMPACT_RATIO"):
+            store = PlanStore(tmp_path / "plans.journal")
+        assert store.compact_ratio == DEFAULT_COMPACT_RATIO
+
+    def test_explicit_ratio_overrides_env(self, tmp_path, monkeypatch):
+        from repro.engine.plan_store import PLAN_STORE_COMPACT_RATIO_ENV
+
+        monkeypatch.setenv(PLAN_STORE_COMPACT_RATIO_ENV, "0.9")
+        store = PlanStore(tmp_path / "plans.journal", compact_ratio=0.1)
+        assert store.compact_ratio == 0.1
+
+
 class TestConcurrentWriters:
     def test_threaded_writers_interleave_benignly(self, tmp_path):
         path = tmp_path / "plans.journal"

@@ -242,9 +242,12 @@ class TestSteadyStateSweeps:
 
     def test_eviction_under_tiny_budget(self, monkeypatch):
         """With room for one entry, alternating datasets evict each other
-        and steady state never materializes -- the budget is honoured."""
+        and steady state never materializes -- the budget is honoured.
+
+        Oracle sharing is disabled (``oracle_cache_bytes=0``) so the
+        evicted entries really are rebuilt, not re-attached from shm."""
         monkeypatch.setenv(PROBLEM_CACHE_ENTRIES_ENV, "1")
-        with SweepExecutor(max_workers=1) as pool:
+        with SweepExecutor(max_workers=1, oracle_cache_bytes=0) as pool:
             first = run_suite(["merge_path"], scale="smoke", limit=3,
                               executor="process", pool=pool)
             second = run_suite(["merge_path"], scale="smoke", limit=3,

@@ -279,7 +279,7 @@ class TestSweepExecutor:
             first = run_suite(KERNELS, scale="smoke", limit=5,
                               executor="process", pool=pool)
             with pytest.raises(BrokenProcessPool):
-                list(pool._pool.map(_kill_worker, [0]))
+                list(pool._slots[0].pool.map(_kill_worker, [0]))
             recovered = run_suite(KERNELS, scale="smoke", limit=5,
                                   executor="process", pool=pool)
             assert _key(first) == _key(recovered) == _key(serial_rows)
