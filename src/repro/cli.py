@@ -10,6 +10,9 @@ CLI reproduces both entry points::
     python -m repro sweep --kernels merge_path cub cusparse --scale smoke -o out.csv
     python -m repro sweep --app bfs --kernels group_mapped merge_path --scale smoke
     python -m repro sweep --app spmv --policy oracle_best --gpus 2
+    python -m repro sweep --kernels merge_path --rows-jsonl rows.jsonl
+    python -m repro serve --port 7077 --width 4 --journal results.journal
+    python -m repro submit --port 7077 --kernels merge_path --scale smoke
     python -m repro datasets
     python -m repro apps
     python -m repro schedules
@@ -46,6 +49,12 @@ knobs:
   launches;
 * ``--plan-store FILE`` -- same persistence as a single append-only
   journal file (the corpus-scale layout: one open instead of thousands).
+
+``serve`` runs the long-lived multi-tenant sweep daemon
+(:mod:`repro.service`) over one persistent warm executor; ``submit``
+is its client, streaming per-row JSON results as dataset shards
+complete.  ``sweep --rows-jsonl`` writes the same per-row objects the
+service streams, one JSON object per line.
 """
 
 from __future__ import annotations
@@ -171,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "with pickle fallback (auto), forced shared "
                               "memory (errors on unbundleable payloads), or "
                               "forced pickling")
+    p_sweep.add_argument("--rows-jsonl", type=Path, default=None,
+                         help="also write one JSON object per result row "
+                              "(the schema the sweep service streams) to "
+                              "this path")
     p_sweep.add_argument("--seed", type=int, default=None,
                          help="input seed (default: the shared DEFAULT_SEED)")
     p_sweep.add_argument("--no-validate", action="store_true",
@@ -192,6 +205,56 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("schedules", help="list registered schedules")
 
     sub.add_parser("engines", help="list registered execution engines")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived multi-tenant sweep service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="listen address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=7077,
+                         help="listen port; 0 picks a free port "
+                              "(announced on stdout)")
+    p_serve.add_argument("--width", type=int, default=None,
+                         help="worker-pool width; 0 runs units serially "
+                              "in-process (default: REPRO_SERVE_WIDTH or "
+                              "the executor's default width)")
+    p_serve.add_argument("--queue-depth", type=int, default=None,
+                         help="max pending jobs before submissions are "
+                              "rejected with queue_full (default: "
+                              "REPRO_SERVE_QUEUE_DEPTH or 16)")
+    p_serve.add_argument("--journal", type=Path, default=None,
+                         help="crash-safe results journal (every accepted "
+                              "job, row and completion, CRC-framed)")
+    p_serve.add_argument("--transport", default="auto",
+                         choices=["auto", "shm", "pickle"],
+                         help="dataset transport to pool workers")
+    p_serve.add_argument("--plan-store", type=Path, default=None,
+                         help="journaled plan store shared by every job")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one sweep job to a running service"
+    )
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=7077)
+    p_submit.add_argument("--kernels", nargs="+", default=["merge_path"],
+                          help="kernel list (default: merge_path)")
+    p_submit.add_argument("--app", default="spmv",
+                          help="registered application (default: spmv)")
+    p_submit.add_argument("--scale", default="smoke",
+                          help="corpus scale (default: smoke)")
+    p_submit.add_argument("--limit", type=int, default=None,
+                          help="run only the first N datasets")
+    p_submit.add_argument("--datasets", nargs="+", default=None,
+                          help="explicit dataset names from the scale")
+    p_submit.add_argument("--seed", type=int, default=None)
+    p_submit.add_argument("--no-validate", action="store_true",
+                          help="skip the per-cell oracle check")
+    p_submit.add_argument("--retries", type=int, default=0,
+                          help="reconnect-and-resubmit attempts after "
+                              "dropped connections or queue_full")
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          help="socket timeout in seconds")
+    _engine_arg(p_submit)
 
     p_plans = sub.add_parser(
         "plans", help="inspect or compact a journaled plan store"
@@ -296,6 +359,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("--transport requires --executor process (dataset transport "
               "only applies to process-pool sweeps)", file=sys.stderr)
         return 2
+    rows_jsonl_fh = None
+    if args.rows_jsonl is not None:
+        # Validate writability *before* the sweep runs: a typo'd path
+        # must fail in seconds as a usage error, not after minutes of
+        # computed rows have nowhere to go.
+        try:
+            rows_jsonl_fh = open(args.rows_jsonl, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"cannot write --rows-jsonl {args.rows_jsonl}: {exc}",
+                  file=sys.stderr)
+            return 2
 
     ctx = ExecutionContext(
         engine=args.engine,
@@ -306,19 +380,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ),
         plan_store=None if args.plan_store is None else str(args.plan_store),
     )
-    rows = run_suite(
-        kernels,
-        app=args.app,
-        scale=args.scale,
-        ctx=ctx,
-        limit=args.limit,
-        seed=DEFAULT_SEED if args.seed is None else args.seed,
-        validate=not args.no_validate,
-        max_workers=args.workers,
-        executor=args.executor,
-        keep_pool=args.keep_pool,
-        transport=args.transport,
-    )
+    try:
+        rows = run_suite(
+            kernels,
+            app=args.app,
+            scale=args.scale,
+            ctx=ctx,
+            limit=args.limit,
+            seed=DEFAULT_SEED if args.seed is None else args.seed,
+            validate=not args.no_validate,
+            max_workers=args.workers,
+            executor=args.executor,
+            keep_pool=args.keep_pool,
+            transport=args.transport,
+        )
+    except BaseException:
+        if rows_jsonl_fh is not None:
+            rows_jsonl_fh.close()
+        raise
+    if rows_jsonl_fh is not None:
+        import json as _json
+
+        from .service.protocol import row_to_wire
+
+        with rows_jsonl_fh:
+            for r in rows:
+                rows_jsonl_fh.write(
+                    _json.dumps(row_to_wire(r), separators=(",", ":")) + "\n"
+                )
+        print(f"wrote {len(rows)} rows to {args.rows_jsonl}", file=sys.stderr)
     include_app = args.app != "spmv"
     if args.output is not None:
         path = write_csv(rows, args.output, include_app=include_app)
@@ -383,6 +473,124 @@ def _cmd_engines(_args: argparse.Namespace) -> int:
     for name in available_engines():
         print(f"{name:<16} {engine_description(name)}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from .service import SweepService
+    from .service.server import SERVE_WIDTH_ENV
+
+    width = args.width
+    if width is None:
+        raw = os.environ.get(SERVE_WIDTH_ENV)
+        if raw:
+            try:
+                width = int(raw)
+            except ValueError:
+                print(f"non-integer {SERVE_WIDTH_ENV}={raw!r}",
+                      file=sys.stderr)
+                return 2
+    if width is not None and width < 0:
+        print(f"--width must be >= 0, got {width}", file=sys.stderr)
+        return 2
+    try:
+        service = SweepService(
+            host=args.host,
+            port=args.port,
+            width=width,
+            queue_depth=args.queue_depth,
+            journal_path=None if args.journal is None else str(args.journal),
+            transport=args.transport,
+            plan_store=None if args.plan_store is None else str(args.plan_store),
+        )
+    except (ValueError, OSError) as exc:
+        print(f"cannot start service: {exc}", file=sys.stderr)
+        return 2
+
+    def _announce(svc: SweepService) -> None:
+        # One parseable line so wrappers (and the tests) can discover a
+        # --port 0 ephemeral binding.
+        print(f"repro serve listening on {svc.host}:{svc.port}", flush=True)
+
+    try:
+        asyncio.run(service.serve(install_signals=True, on_ready=_announce))
+    except KeyboardInterrupt:
+        pass
+    print(
+        f"repro serve drained: {service.jobs_done} jobs, "
+        f"{service.rows_streamed} rows, {service.jobs_rejected} rejected",
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import JobRejected, ServiceError, SweepClient
+
+    error = _check_kernels(args.kernels, args.app)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    error = _check_engine(args.engine)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    job = {
+        "app": args.app,
+        "kernels": list(args.kernels),
+        "scale": args.scale,
+        "limit": args.limit,
+        "datasets": args.datasets,
+        "seed": args.seed,
+        "validate": not args.no_validate,
+        "engine": args.engine,
+        "gpus": args.gpus,
+    }
+    attempts = max(0, args.retries) + 1
+    last_error: Exception | None = None
+    for attempt in range(attempts):
+        client = SweepClient(args.host, args.port, timeout=args.timeout)
+        try:
+            client.connect()
+            accepted = client.submit(job)
+            print(
+                f"accepted {accepted['job_id']}: {accepted['units']} units",
+                file=sys.stderr,
+            )
+            failed = 0
+            status = "unknown"
+            for message in client.stream(accepted):
+                kind = message.get("type")
+                if kind == "row":
+                    print(_json.dumps(message["row"], separators=(",", ":")),
+                          flush=True)
+                elif kind == "row_error":
+                    failed += 1
+                    print(
+                        f"row error on {message.get('dataset')}: "
+                        f"{message.get('error')}",
+                        file=sys.stderr,
+                    )
+                else:  # done
+                    status = message.get("status", "unknown")
+            print(f"done: status={status} failed={failed}", file=sys.stderr)
+            return 0 if status == "ok" else 1
+        except JobRejected as exc:
+            if exc.reason == "bad_request":
+                print(f"rejected: {exc.detail or exc.reason}", file=sys.stderr)
+                return 2  # the job itself is wrong; retrying is pointless
+            last_error = exc
+        except (ServiceError, OSError) as exc:
+            last_error = exc
+        finally:
+            client.close()
+    print(f"submit failed after {attempts} attempt(s): {last_error}",
+          file=sys.stderr)
+    return 3 if isinstance(last_error, JobRejected) else 1
 
 
 def _check_plan_store_path(path: Path) -> str | None:
@@ -455,6 +663,8 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "schedules": _cmd_schedules,
     "engines": _cmd_engines,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "plans": _cmd_plans,
 }
 

@@ -100,6 +100,7 @@ from .plan_cache import (
     global_plan_cache,
     work_fingerprint,
 )
+from .journal import RecordJournal, RecordLocation
 from .plan_store import (
     PLAN_STORE_COMPACT_RATIO_ENV,
     STORE_FORMAT_VERSION,
@@ -117,6 +118,7 @@ from .worker_pool import (
     clear_problem_cache,
     default_executor,
     home_slot,
+    install_signal_cleanup,
     problem_cache,
     publish_payload,
     register_shm_codec,
@@ -178,6 +180,8 @@ __all__ = [
     "SHARED_ORACLE_BYTES_ENV",
     "PlanCache",
     "PlanStore",
+    "RecordJournal",
+    "RecordLocation",
     "SweepExecutor",
     "TRANSPORTS",
     "ArrayBundleHandle",
@@ -187,6 +191,7 @@ __all__ = [
     "publish_payload",
     "attach_payload",
     "home_slot",
+    "install_signal_cleanup",
     "ProblemCache",
     "problem_cache",
     "clear_problem_cache",

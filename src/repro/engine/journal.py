@@ -1,0 +1,319 @@
+"""Reusable append-only CRC-framed record journal.
+
+The framing layer factored out of :mod:`repro.engine.plan_store`: one
+file holds a magic/versioned header followed by length+CRC framed
+records, only ever appended, each in a single ``write(2)`` on an
+``O_APPEND`` descriptor -- so concurrent writers interleave whole
+records, never bytes.  The :class:`~repro.engine.plan_store.PlanStore`
+layers a key-value index and compaction on top; the sweep service's
+results journal (:mod:`repro.service.journal`) layers a JSON event log
+on top.  Both inherit the same crash-safety contract from here.
+
+Format
+------
+::
+
+    header  := magic (8 bytes) | version (<I)
+    record  := payload_len (<I) | crc32(payload) (<I) | payload
+
+Failure tolerance (a journal can only ever lose *acceleration* or tail
+records written mid-crash, never serve corrupt payloads):
+
+* a truncated tail (a writer died mid-append) stops the scan at the
+  last whole record; the next append truncates the garbage away first;
+* a corrupt record (CRC mismatch) also stops the scan -- framing after
+  a flipped length byte cannot be trusted -- and everything from that
+  point is invisible;
+* a foreign or version-bumped header reads the whole file as empty; the
+  first append rewrites it with a fresh header;
+* :meth:`RecordJournal.read` re-verifies the CRC on every read, so a
+  stale location (e.g. another process rewrote the file under us)
+  returns ``None`` instead of garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "RecordJournal",
+    "RecordLocation",
+    "JOURNAL_HEADER",
+    "JOURNAL_RECORD",
+    "MAGIC_LENGTH",
+]
+
+#: Header layout: 8-byte magic + little-endian format version.
+JOURNAL_HEADER = struct.Struct("<8sI")
+
+#: Record framing: little-endian payload length + crc32(payload).
+JOURNAL_RECORD = struct.Struct("<II")
+
+#: Every journal magic is exactly this long (the header struct is fixed).
+MAGIC_LENGTH = 8
+
+#: Sanity bound on one record's payload; a declared length beyond this is
+#: treated as framing garbage, not an allocation request.
+_MAX_PAYLOAD = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class RecordLocation:
+    """Where one record's payload lives inside the journal file."""
+
+    offset: int  # byte offset of the payload (past the record header)
+    length: int
+    crc: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+class RecordJournal:
+    """One append-only file of CRC-framed records behind a magic header.
+
+    Thread-safe; cross-process safety comes from whole-record
+    ``O_APPEND`` writes plus read-time CRC verification.  The journal is
+    schema-agnostic: payloads are opaque bytes, and callers own any
+    key/indexing semantics.
+    """
+
+    def __init__(self, path: str | Path, *, magic: bytes, version: int = 1):
+        if len(magic) != MAGIC_LENGTH:
+            raise ValueError(
+                f"journal magic must be exactly {MAGIC_LENGTH} bytes, "
+                f"got {magic!r}"
+            )
+        self.path = Path(path)
+        self.magic = bytes(magic)
+        self.version = int(version)
+        #: True when the last scan hit a truncated tail or corrupt record.
+        self.scan_damage = False
+        #: True when the file is not ours (bad magic/version); the first
+        #: append rewrites it from scratch.
+        self.foreign = False
+        self.appends = 0
+        self._lock = threading.RLock()
+        self._write_fd: int | None = None
+        self._read_fh = None
+        #: Byte offset one past the last whole, CRC-valid record.
+        self._good_end = JOURNAL_HEADER.size
+        #: Lazily set by the first scan; appends force one so damage and
+        #: foreign headers are handled before any write lands.
+        self._scanned = False
+        self._open()
+
+    # ------------------------------------------------------------------
+    # Opening & scanning
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            self._write_header_if_empty(fd)
+        finally:
+            os.close(fd)
+        self._write_fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+        self._read_fh = open(self.path, "rb")
+
+    def _write_header_if_empty(self, fd: int) -> None:
+        """Initialize a brand-new journal, serializing concurrent creators."""
+        try:
+            import fcntl
+
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except (ImportError, OSError):  # non-POSIX: best effort
+            pass
+        if os.fstat(fd).st_size == 0:
+            os.write(fd, JOURNAL_HEADER.pack(self.magic, self.version))
+
+    def _scan(self, keep: bool) -> list[tuple[RecordLocation, bytes]]:
+        """One pass over the file; collects ``(location, payload)`` when
+        ``keep``, and always refreshes ``scan_damage``/``foreign``/the
+        good end."""
+        fh = self._read_fh
+        assert fh is not None
+        out: list[tuple[RecordLocation, bytes]] = []
+        self.scan_damage = False
+        self.foreign = False
+        self._good_end = JOURNAL_HEADER.size
+        self._scanned = True
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        fh.seek(0)
+        head = fh.read(JOURNAL_HEADER.size)
+        if len(head) < JOURNAL_HEADER.size:
+            self.foreign, self._good_end = True, 0
+            return out
+        magic, version = JOURNAL_HEADER.unpack(head)
+        if magic != self.magic or version != self.version:
+            self.foreign, self._good_end = True, 0
+            return out
+        pos = JOURNAL_HEADER.size
+        while pos < size:
+            hdr = fh.read(JOURNAL_RECORD.size)
+            if len(hdr) < JOURNAL_RECORD.size:
+                self.scan_damage = True  # truncated tail
+                break
+            length, crc = JOURNAL_RECORD.unpack(hdr)
+            if (
+                length == 0
+                or length > _MAX_PAYLOAD
+                or pos + JOURNAL_RECORD.size + length > size
+            ):
+                self.scan_damage = True  # implausible framing
+                break
+            payload = fh.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                # A flipped byte poisons everything downstream: record
+                # lengths after this point cannot be trusted, so the
+                # scan stops and later records are invisible.
+                self.scan_damage = True
+                break
+            pos += JOURNAL_RECORD.size + length
+            self._good_end = pos
+            if keep:
+                out.append((RecordLocation(pos - length, length, crc), payload))
+        return out
+
+    def records(self) -> list[tuple[RecordLocation, bytes]]:
+        """Every whole, CRC-valid record, in file order (one fresh pass)."""
+        with self._lock:
+            if self._read_fh is None:
+                raise ValueError("journal is closed")
+            return self._scan(keep=True)
+
+    def payloads(self) -> list[bytes]:
+        """Just the record payloads, in file order."""
+        return [payload for _loc, payload in self.records()]
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, location: RecordLocation) -> bytes | None:
+        """The payload at ``location``, CRC-verified; ``None`` on any
+        mismatch (a stale location degrades to a miss, never garbage)."""
+        with self._lock:
+            if self._read_fh is None:
+                return None
+            try:
+                self._read_fh.seek(location.offset)
+                payload = self._read_fh.read(location.length)
+            except OSError:
+                return None
+            if len(payload) != location.length or zlib.crc32(payload) != location.crc:
+                return None
+            return payload
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append(self, payload: bytes) -> RecordLocation:
+        """Append one record in a single ``write(2)``; returns where it
+        landed.  A foreign header is rotated away and a damaged tail
+        truncated first, so the new record is always scannable."""
+        payload = bytes(payload)
+        crc = zlib.crc32(payload)
+        record = JOURNAL_RECORD.pack(len(payload), crc) + payload
+        with self._lock:
+            if self._write_fd is None:
+                raise ValueError("journal is closed")
+            if not self._scanned:
+                self._scan(keep=False)
+            if self.foreign:
+                self.rewrite([])
+            elif self.scan_damage:
+                self._truncate_damage()
+            # With O_APPEND the kernel picks the final offset; under a
+            # concurrent writer in another process our guess can be
+            # stale, in which case read() detects the mismatch and the
+            # caller misses benignly.
+            offset = os.fstat(self._write_fd).st_size
+            os.write(self._write_fd, record)
+            self.appends += 1
+            self._good_end = offset + len(record)
+            return RecordLocation(offset + JOURNAL_RECORD.size, len(payload), crc)
+
+    def _truncate_damage(self) -> None:
+        """Drop a damaged tail so new appends stay scannable."""
+        try:
+            os.truncate(self.path, self._good_end)
+        except OSError:
+            pass
+        self.scan_damage = False
+
+    def rewrite(self, payloads: Iterable[bytes]) -> list[RecordLocation]:
+        """Atomically replace the journal with exactly ``payloads``.
+
+        The rewrite is a temp file + ``os.replace``; a concurrent writer
+        holding the old inode keeps appending to the orphan, losing only
+        its records' visibility here.  Returns the new locations, in
+        order.
+        """
+        with self._lock:
+            if self._write_fd is None:
+                raise ValueError("journal is closed")
+            tmp = self.path.with_suffix(
+                f".tmp-{os.getpid()}-{threading.get_ident()}"
+            )
+            locations: list[RecordLocation] = []
+            with open(tmp, "wb") as fh:
+                fh.write(JOURNAL_HEADER.pack(self.magic, self.version))
+                pos = JOURNAL_HEADER.size
+                for payload in payloads:
+                    payload = bytes(payload)
+                    crc = zlib.crc32(payload)
+                    fh.write(JOURNAL_RECORD.pack(len(payload), crc) + payload)
+                    pos += JOURNAL_RECORD.size + len(payload)
+                    locations.append(
+                        RecordLocation(pos - len(payload), len(payload), crc)
+                    )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._close_fds()
+            self._write_fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+            self._read_fh = open(self.path, "rb")
+            self.foreign = False
+            self.scan_damage = False
+            self._scanned = True
+            self._good_end = (
+                JOURNAL_HEADER.size if not locations else locations[-1].end
+            )
+            return locations
+
+    # ------------------------------------------------------------------
+    # Lifecycle & reporting
+    # ------------------------------------------------------------------
+    def _close_fds(self) -> None:
+        if self._write_fd is not None:
+            os.close(self._write_fd)
+            self._write_fd = None
+        if self._read_fh is not None:
+            self._read_fh.close()
+            self._read_fh = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_fds()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._write_fd is None
+
+    def file_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RecordJournal({str(self.path)!r}, magic={self.magic!r})"

@@ -8,46 +8,41 @@ then pays one ``open``/``stat`` per plan, and the cache directory
 becomes the slowest thing about a "cached" sweep.  This module is the
 single-file replacement: one journal holds every plan, opened once.
 
-Format
-------
-::
+The on-disk framing (magic/versioned header, ``<II`` len+crc32 records,
+single ``O_APPEND`` write per record, truncated-tail and corrupt-record
+tolerance) lives in :class:`~repro.engine.journal.RecordJournal`; this
+module layers the plan-specific parts on top::
 
-    header  := MAGIC (8 bytes) | store_version (<I)
-    record  := payload_len (<I) | crc32(payload) (<I) | payload
     payload := pickle((key, value))
 
-Records are only ever *appended*, each in a single ``write(2)`` on a
-file descriptor opened with ``O_APPEND`` -- so concurrent writers
-(process-pool workers sharing one store) interleave whole records, never
-bytes.  Readers build an in-memory ``key -> (offset, length, crc)``
-index by scanning the journal once at open; the newest record for a key
-wins.  Updated keys leave dead records behind; :meth:`compact` rewrites
-the journal with only the live ones (atomic ``os.replace``).
+Readers build an in-memory ``key -> RecordLocation`` index from one
+journal scan at open; the newest record for a key wins.  Updated keys
+leave dead records behind; :meth:`PlanStore.compact` rewrites the
+journal with only the live ones (atomic ``os.replace``), and ``put``
+auto-compacts past a dead-record ratio.
 
 Failure tolerance mirrors the per-file layer's contract -- the store can
-only ever skip recomputation, never change behaviour:
-
-* a truncated tail (a writer died mid-append) stops the scan at the last
-  whole record; the next append truncates the garbage away first;
-* a corrupt record (CRC mismatch) also stops the scan -- framing after a
-  flipped length byte cannot be trusted -- and everything from that
-  point reads as a miss, falling through to live planning;
-* a foreign or version-bumped header reads the whole file as cold; the
-  first append rotates the journal to a fresh header;
-* :meth:`get` re-verifies the CRC *and* the stored key on every read, so
-  a stale index entry (e.g. another process compacted the file under us)
-  degrades to a miss instead of a wrong plan.
+only ever skip recomputation, never change behaviour: damaged tails and
+corrupt records read as misses (see :mod:`repro.engine.journal`), and
+:meth:`PlanStore.get` re-verifies the CRC *and* the stored key on every
+read, so a stale index entry (e.g. another process compacted the file
+under us) degrades to a miss instead of a wrong plan.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-import struct
 import threading
-import zlib
 from pathlib import Path
 from typing import Any, Iterator
+
+from .journal import (
+    JOURNAL_HEADER as _HEADER,
+    JOURNAL_RECORD as _RECORD,
+    RecordJournal,
+    RecordLocation,
+)
 
 __all__ = [
     "PlanStore",
@@ -98,13 +93,6 @@ def _compact_ratio_from_env() -> float:
         )
         return DEFAULT_COMPACT_RATIO
 
-_HEADER = struct.Struct("<8sI")
-_RECORD = struct.Struct("<II")
-
-#: Sanity bound on one record's payload; a declared length beyond this is
-#: treated as framing garbage, not an allocation request.
-_MAX_PAYLOAD = 256 * 1024 * 1024
-
 
 class PlanStore:
     """A key-value journal of planned launches (one file, many plans).
@@ -112,8 +100,8 @@ class PlanStore:
     ``get``/``put`` move arbitrary picklable ``(key, value)`` pairs; the
     plan cache stores versioned stats payloads, but the store itself is
     schema-agnostic.  All methods are thread-safe; cross-process safety
-    comes from whole-record ``O_APPEND`` writes plus read-time
-    verification.
+    comes from the record journal's whole-record ``O_APPEND`` writes
+    plus read-time verification.
     """
 
     def __init__(self, path: str | Path, *, compact_ratio: float | None = None):
@@ -131,79 +119,16 @@ class PlanStore:
         #: Records superseded by a newer append for the same key (plus
         #: records whose payload could not be unpickled at scan time).
         self.dead_records = 0
-        #: True when the open scan hit a truncated tail or corrupt record.
-        self.scan_damage = False
-        self._index: dict[Any, tuple[int, int, int]] = {}
+        self._index: dict[Any, RecordLocation] = {}
         self._lock = threading.RLock()
-        self._write_fd: int | None = None
-        self._read_fh = None
-        #: Byte offset one past the last whole, CRC-valid record.
-        self._good_end = _HEADER.size
-        #: The file predates this store version / is not ours at all; the
-        #: first append rewrites it from scratch.
-        self._foreign = False
-        self._open()
+        self._journal = RecordJournal(
+            self.path, magic=STORE_MAGIC, version=STORE_FORMAT_VERSION
+        )
+        self._build_index()
 
-    # ------------------------------------------------------------------
-    # Opening & scanning
-    # ------------------------------------------------------------------
-    def _open(self) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
-        try:
-            self._write_header_if_empty(fd)
-        finally:
-            os.close(fd)
-        self._write_fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
-        self._read_fh = open(self.path, "rb")
-        self._scan()
-
-    @staticmethod
-    def _write_header_if_empty(fd: int) -> None:
-        """Initialize a brand-new journal, serializing concurrent creators."""
-        try:
-            import fcntl
-
-            fcntl.flock(fd, fcntl.LOCK_EX)
-        except (ImportError, OSError):  # non-POSIX: best effort
-            pass
-        if os.fstat(fd).st_size == 0:
-            os.write(fd, _HEADER.pack(STORE_MAGIC, STORE_FORMAT_VERSION))
-
-    def _scan(self) -> None:
+    def _build_index(self) -> None:
         """Build the key index from one pass over the journal."""
-        fh = self._read_fh
-        assert fh is not None
-        fh.seek(0, os.SEEK_END)
-        size = fh.tell()
-        fh.seek(0)
-        head = fh.read(_HEADER.size)
-        if len(head) < _HEADER.size:
-            self._foreign, self._good_end = True, 0
-            return
-        magic, version = _HEADER.unpack(head)
-        if magic != STORE_MAGIC or version != STORE_FORMAT_VERSION:
-            self._foreign, self._good_end = True, 0
-            return
-        pos = _HEADER.size
-        while pos < size:
-            hdr = fh.read(_RECORD.size)
-            if len(hdr) < _RECORD.size:
-                self.scan_damage = True  # truncated tail
-                break
-            length, crc = _RECORD.unpack(hdr)
-            if length == 0 or length > _MAX_PAYLOAD or pos + _RECORD.size + length > size:
-                self.scan_damage = True  # implausible framing
-                break
-            payload = fh.read(length)
-            if len(payload) < length or zlib.crc32(payload) != crc:
-                # A flipped byte poisons everything downstream: record
-                # lengths after this point cannot be trusted, so the
-                # scan stops and later records read as misses.
-                self.scan_damage = True
-                break
-            pos += _RECORD.size + length
-            self._good_end = pos
+        for location, payload in self._journal.records():
             try:
                 key, _value = pickle.loads(payload)
             except Exception:  # framed fine, payload unusable: skip it
@@ -212,9 +137,14 @@ class PlanStore:
             try:
                 if key in self._index:
                     self.dead_records += 1
-                self._index[key] = (pos - length, length, crc)
+                self._index[key] = location
             except TypeError:  # unhashable key from a foreign writer
                 self.dead_records += 1
+
+    @property
+    def scan_damage(self) -> bool:
+        """True when the open scan hit a truncated tail or corrupt record."""
+        return self._journal.scan_damage
 
     # ------------------------------------------------------------------
     # Reads
@@ -226,16 +156,11 @@ class PlanStore:
         stale or corrupted index entry degrades to a miss.
         """
         with self._lock:
-            loc = self._index.get(key)
-            if loc is None or self._read_fh is None:
+            location = self._index.get(key)
+            if location is None:
                 return None
-            offset, length, crc = loc
-            try:
-                self._read_fh.seek(offset)
-                payload = self._read_fh.read(length)
-            except OSError:
-                payload = b""
-            if len(payload) != length or zlib.crc32(payload) != crc:
+            payload = self._journal.read(location)
+            if payload is None:
                 del self._index[key]
                 return None
             try:
@@ -271,22 +196,13 @@ class PlanStore:
     def put(self, key: Any, value: Any) -> None:
         """Append one record; the in-memory index points at it immediately."""
         payload = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
-        record = _RECORD.pack(len(payload), zlib.crc32(payload)) + payload
         with self._lock:
-            if self._write_fd is None:
+            if self._journal.closed:
                 raise ValueError("PlanStore is closed")
-            if self._foreign:
-                self._rotate()
-            elif self.scan_damage:
-                self._truncate_damage()
-            # With O_APPEND the kernel picks the final offset; under a
-            # concurrent writer in another process our guess can be stale,
-            # in which case get() detects the mismatch and misses benignly.
-            offset = os.fstat(self._write_fd).st_size
-            os.write(self._write_fd, record)
+            location = self._journal.append(payload)
             if key in self._index:
                 self.dead_records += 1
-            self._index[key] = (offset + _RECORD.size, len(payload), zlib.crc32(payload))
+            self._index[key] = location
             self.appends += 1
             if self._should_auto_compact():
                 self.compact()
@@ -298,20 +214,6 @@ class PlanStore:
             return False
         total = self.dead_records + len(self._index)
         return self.dead_records >= self.compact_ratio * total
-
-    def _truncate_damage(self) -> None:
-        """Drop a damaged tail so new appends stay scannable."""
-        try:
-            os.truncate(self.path, self._good_end)
-        except OSError:
-            pass
-        self.scan_damage = False
-
-    def _rotate(self) -> None:
-        """Replace a foreign/old-version file with a fresh empty journal."""
-        self._replace_with([])
-        self._foreign = False
-        self.scan_damage = False
 
     def compact(self) -> int:
         """Rewrite the journal keeping only the newest record per key.
@@ -329,64 +231,33 @@ class PlanStore:
                 if value is not None:
                     live.append((key, value))
             dropped = self.dead_records
-            self._replace_with(live)
+            locations = self._journal.rewrite(
+                pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+                for item in live
+            )
+            self._index = {
+                key: location
+                for (key, _value), location in zip(live, locations)
+            }
             self.dead_records = 0
-            self.scan_damage = False
-            self._foreign = False
             return dropped
-
-    def _replace_with(self, items: list[tuple[Any, Any]]) -> None:
-        """Atomically rewrite the journal with exactly ``items``."""
-        tmp = self.path.with_suffix(f".tmp-{os.getpid()}-{threading.get_ident()}")
-        index: dict[Any, tuple[int, int, int]] = {}
-        with open(tmp, "wb") as fh:
-            fh.write(_HEADER.pack(STORE_MAGIC, STORE_FORMAT_VERSION))
-            pos = _HEADER.size
-            for key, value in items:
-                payload = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
-                crc = zlib.crc32(payload)
-                fh.write(_RECORD.pack(len(payload), crc) + payload)
-                pos += _RECORD.size + len(payload)
-                index[key] = (pos - len(payload), len(payload), crc)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.path)
-        self._close_fds()
-        self._write_fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
-        self._read_fh = open(self.path, "rb")
-        self._index = index
-        self._good_end = _HEADER.size if not items else max(
-            off + length for off, length, _ in index.values()
-        )
 
     # ------------------------------------------------------------------
     # Lifecycle & reporting
     # ------------------------------------------------------------------
-    def _close_fds(self) -> None:
-        if self._write_fd is not None:
-            os.close(self._write_fd)
-            self._write_fd = None
-        if self._read_fh is not None:
-            self._read_fh.close()
-            self._read_fh = None
-
     def close(self) -> None:
         with self._lock:
-            self._close_fds()
+            self._journal.close()
 
     def info(self) -> dict:
         with self._lock:
-            try:
-                file_bytes = os.path.getsize(self.path)
-            except OSError:
-                file_bytes = 0
             return {
                 "path": str(self.path),
                 "records": len(self._index),
                 "appends": self.appends,
                 "hits": self.hits,
                 "dead_records": self.dead_records,
-                "file_bytes": file_bytes,
+                "file_bytes": self._journal.file_bytes(),
                 "compact_ratio": self.compact_ratio,
                 "auto_compactions": self.auto_compactions,
                 "scan_damage": self.scan_damage,

@@ -101,6 +101,7 @@ __all__ = [
     "clear_problem_cache",
     "default_executor",
     "shutdown_default_executor",
+    "install_signal_cleanup",
     "TRANSPORTS",
     "PROBLEM_CACHE_ENTRIES_ENV",
     "PROBLEM_CACHE_BYTES_ENV",
@@ -1631,6 +1632,9 @@ def default_executor(max_workers: int | None = None) -> SweepExecutor:
             if not _ATEXIT_REGISTERED:
                 atexit.register(shutdown_default_executor)
                 _ATEXIT_REGISTERED = True
+            # Best effort (main thread only): atexit alone leaks shm on
+            # SIGTERM/SIGINT deaths.
+            install_signal_cleanup()
         elif max_workers is not None and (
             _DEFAULT.max_workers is None or max_workers > _DEFAULT.max_workers
         ):
@@ -1645,3 +1649,72 @@ def shutdown_default_executor() -> None:
         if _DEFAULT is not None:
             _DEFAULT.shutdown()
             _DEFAULT = None
+
+
+# ----------------------------------------------------------------------
+# Signal cleanup: atexit never runs when the process dies on an
+# unhandled SIGTERM/SIGINT, so a killed keep_pool sweep would leak its
+# /dev/shm dataset blocks and shared-oracle segments (named, kernel-
+# persistent objects that outlive the process).  Installing chained
+# handlers turns those deaths into an orderly shm unlink first.
+# ----------------------------------------------------------------------
+_SIGNAL_CHAIN: dict[int, object] = {}
+_SIGNALS_INSTALLED = False
+
+
+def _signal_cleanup(signum, frame) -> None:
+    """Chained handler: unlink every shm segment, then defer onward."""
+    global _DEFAULT
+    import signal as _signal
+
+    # Never block inside a signal handler: if the interrupted main
+    # thread holds the module lock (mid default_executor()), steal the
+    # reference without it -- worst case two shutdowns race, and
+    # shutdown() is idempotent.
+    locked = _DEFAULT_LOCK.acquire(blocking=False)
+    try:
+        pool, _DEFAULT = _DEFAULT, None
+    finally:
+        if locked:
+            _DEFAULT_LOCK.release()
+    if pool is not None:
+        try:
+            pool.shutdown()
+        except Exception:
+            pass
+    previous = _SIGNAL_CHAIN.get(signum)
+    if callable(previous):
+        previous(signum, frame)
+    elif previous == _signal.SIG_DFL:
+        # Re-deliver under the default disposition so the exit status
+        # still says "killed by signal" (process supervisors key on it).
+        _signal.signal(signum, _signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+    # SIG_IGN (or no previous handler): cleanup was the whole job.
+
+
+def install_signal_cleanup() -> bool:
+    """Unlink shm segments on SIGTERM/SIGINT, not only at interpreter exit.
+
+    Installed lazily by :func:`default_executor` and safe to call
+    directly from any long-lived host process.  The handlers *chain*:
+    after cleanup the previously installed handler runs (Python's
+    default SIGINT handler still raises ``KeyboardInterrupt``; a
+    ``SIG_DFL`` disposition is re-delivered so the process still dies
+    by signal).  Signals can only be installed from the main thread;
+    anywhere else this is a no-op returning ``False``.
+    """
+    global _SIGNALS_INSTALLED
+    if _SIGNALS_INSTALLED:
+        return True
+    import signal as _signal
+
+    try:
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            previous = _signal.signal(signum, _signal_cleanup)
+            if previous is not _signal_cleanup:
+                _SIGNAL_CHAIN[signum] = previous
+    except ValueError:  # not the main thread
+        return False
+    _SIGNALS_INSTALLED = True
+    return True

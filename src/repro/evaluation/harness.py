@@ -88,6 +88,7 @@ __all__ = [
     "SweepRow",
     "SpmvRow",
     "run_cell",
+    "expand_datasets",
     "run_suite",
     "run_spmv_kernel",
     "run_spmv_suite",
@@ -462,6 +463,41 @@ def _restore_ambient_plan_persistence() -> None:
         configure_global_plan_cache(None)
 
 
+def expand_datasets(
+    app: str,
+    *,
+    scale: str = "standard",
+    limit: int | None = None,
+    datasets: Iterable[Dataset] | None = None,
+    names: Sequence[str] | None = None,
+) -> list[Dataset]:
+    """The datasets one sweep over ``app`` will actually run.
+
+    Corpus expansion plus the app's acceptance filter, factored out of
+    :func:`run_suite` so the sweep service admits jobs against exactly
+    the dataset list a direct library call would use.  ``datasets``
+    supplies explicit :class:`Dataset` objects (``limit`` then does not
+    apply, matching :func:`run_suite`); ``names`` selects by dataset
+    name from the expanded list and raises ``ValueError`` on unknown
+    names -- admission-time validation, not a silent empty sweep.
+    """
+    app_spec = get_app(app)
+    ds = list(datasets) if datasets is not None else build_corpus(scale, limit=limit)
+    if names is not None:
+        by_name = {d.name: d for d in ds}
+        missing = [n for n in names if n not in by_name]
+        if missing:
+            known = ", ".join(sorted(by_name))
+            raise ValueError(
+                f"unknown datasets {missing} for scale {scale!r}; "
+                f"known: {known}"
+            )
+        ds = [by_name[n] for n in names]
+    if app_spec.accepts is not None:
+        ds = [d for d in ds if app_spec.accepts(d.matrix)]
+    return ds
+
+
 def run_suite(
     kernels: Sequence[str],
     *,
@@ -544,9 +580,7 @@ def run_suite(
         if isinstance(_eng, str):
             ensure_known_engine(_eng)
     app_spec = get_app(app)
-    ds = list(datasets) if datasets is not None else build_corpus(scale, limit=limit)
-    if app_spec.accepts is not None:
-        ds = [d for d in ds if app_spec.accepts(d.matrix)]
+    ds = expand_datasets(app, scale=scale, limit=limit, datasets=datasets)
     if ctx.plan_cache_dir is None and ctx.plan_store is None:
         return _run_suite_prepared(
             kernels, app, app_spec, ds, ctx, seed, validate,

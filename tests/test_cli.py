@@ -258,3 +258,110 @@ class TestParser:
 
     def test_module_entry_point_exists(self):
         import repro.__main__  # noqa: F401
+
+
+class TestRowsJsonl:
+    def test_rows_jsonl_matches_service_schema(self, tmp_path):
+        import json
+
+        from repro.service.protocol import row_from_wire
+        from repro.evaluation.harness import run_suite
+
+        out_path = tmp_path / "rows.jsonl"
+        code, _ = run_cli(
+            "sweep", "--kernels", "merge_path", "--scale", "smoke",
+            "--limit", "2", "--rows-jsonl", str(out_path),
+            "-o", str(tmp_path / "rows.csv"),
+        )
+        assert code == 0
+        lines = out_path.read_text().splitlines()
+        rows = [row_from_wire(json.loads(line)) for line in lines]
+        direct = run_suite(["merge_path"], scale="smoke", limit=2,
+                           executor="serial")
+        assert rows == direct
+        # meta rides along even though equality ignores it
+        assert all(json.loads(line)["meta"] for line in lines)
+
+    def test_unwritable_rows_jsonl_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "no-such-dir" / "rows.jsonl"
+        code, _ = run_cli(
+            "sweep", "--kernels", "merge_path", "--scale", "smoke",
+            "--limit", "1", "--rows-jsonl", str(target),
+        )
+        assert code == 2
+        assert "rows-jsonl" in capsys.readouterr().err
+
+    def test_directory_rows_jsonl_exits_2(self, tmp_path, capsys):
+        code, _ = run_cli(
+            "sweep", "--kernels", "merge_path", "--scale", "smoke",
+            "--limit", "1", "--rows-jsonl", str(tmp_path),
+        )
+        assert code == 2
+
+
+class TestServeSubmitCommands:
+    """serve/submit validation paths; the live round trip is covered by
+    tests/test_service.py (including the SIGTERM subprocess test)."""
+
+    def test_submit_unknown_kernel_exits_2(self, capsys):
+        code, _ = run_cli("submit", "--kernels", "merge_psth")
+        assert code == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_submit_unknown_engine_exits_2(self, capsys):
+        code, _ = run_cli("submit", "--kernels", "merge_path",
+                          "--engine", "warp_drive")
+        assert code == 2
+
+    def test_submit_no_server_exits_1(self, capsys):
+        # Nothing listens on this port: a connection failure is a
+        # runtime failure (1), not a usage error.
+        code, _ = run_cli("submit", "--port", "1", "--kernels", "merge_path")
+        assert code == 1
+        assert "submit failed" in capsys.readouterr().err
+
+    def test_submit_queue_full_exits_3(self, capsys):
+        import threading
+
+        from repro.service import SweepService
+
+        svc = SweepService(width=0, queue_depth=1)
+        gate = threading.Event()
+        orig = svc._execute_unit
+
+        def gated(job, dataset):
+            gate.wait(timeout=60)
+            return orig(job, dataset)
+
+        svc._execute_unit = gated
+        svc.start_background()
+        host, port = svc.wait_ready()
+        try:
+            from repro.service import SweepClient
+
+            with SweepClient(host, port, timeout=60) as occupier:
+                occupier.submit({"app": "spmv", "kernels": ["merge_path"],
+                                 "scale": "smoke", "limit": 1})
+                code, _ = run_cli(
+                    "submit", "--host", host, "--port", str(port),
+                    "--kernels", "merge_path", "--scale", "smoke",
+                    "--limit", "1",
+                )
+        finally:
+            gate.set()
+            svc.request_drain()
+            svc.join()
+        assert code == 3
+        assert "queue_full" in capsys.readouterr().err
+
+    def test_serve_negative_width_exits_2(self, capsys):
+        code, _ = run_cli("serve", "--width", "-2")
+        assert code == 2
+        assert "width" in capsys.readouterr().err
+
+    def test_serve_bad_width_env_exits_2(self, capsys, monkeypatch):
+        from repro.service.server import SERVE_WIDTH_ENV
+
+        monkeypatch.setenv(SERVE_WIDTH_ENV, "lots")
+        code, _ = run_cli("serve", "--port", "0")
+        assert code == 2

@@ -1,0 +1,199 @@
+"""Tests for the reusable CRC-framed record journal."""
+
+import os
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.engine.journal import (
+    JOURNAL_HEADER,
+    JOURNAL_RECORD,
+    MAGIC_LENGTH,
+    RecordJournal,
+    RecordLocation,
+)
+
+MAGIC = b"RPTESTJ1"
+
+
+@pytest.fixture
+def path(tmp_path) -> Path:
+    return tmp_path / "test.journal"
+
+
+class TestBasics:
+    def test_magic_must_be_eight_bytes(self, path):
+        with pytest.raises(ValueError, match="8 bytes"):
+            RecordJournal(path, magic=b"short")
+
+    def test_new_file_gets_header(self, path):
+        j = RecordJournal(path, magic=MAGIC, version=3)
+        j.close()
+        raw = path.read_bytes()
+        assert raw == JOURNAL_HEADER.pack(MAGIC, 3)
+        assert len(MAGIC) == MAGIC_LENGTH
+
+    def test_append_and_scan_roundtrip(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+        payloads = [b"alpha", b"beta", b"x" * 1000]
+        locations = [j.append(p) for p in payloads]
+        assert j.payloads() == payloads
+        for loc, payload in zip(locations, payloads):
+            assert j.read(loc) == payload
+            assert loc.length == len(payload)
+            assert loc.end == loc.offset + loc.length
+        j.close()
+
+    def test_reopen_sees_everything(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+        j.append(b"persisted")
+        j.close()
+        j2 = RecordJournal(path, magic=MAGIC)
+        assert j2.payloads() == [b"persisted"]
+        assert not j2.scan_damage
+        assert not j2.foreign
+        j2.close()
+
+    def test_closed_journal_raises(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+        j.close()
+        assert j.closed
+        with pytest.raises(ValueError, match="closed"):
+            j.append(b"nope")
+        with pytest.raises(ValueError, match="closed"):
+            j.records()
+
+    def test_read_is_crc_verified(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+        loc = j.append(b"fragile")
+        bogus = RecordLocation(loc.offset, loc.length, loc.crc ^ 0xFF)
+        assert j.read(bogus) is None
+        assert j.read(loc) == b"fragile"
+        j.close()
+
+
+class TestDamageTolerance:
+    def test_truncated_tail_stops_scan(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+        j.append(b"whole")
+        j.append(b"will-be-cut")
+        j.close()
+        os.truncate(path, os.path.getsize(path) - 3)
+        j2 = RecordJournal(path, magic=MAGIC)
+        assert j2.payloads() == [b"whole"]
+        assert j2.scan_damage
+        j2.close()
+
+    def test_corrupt_record_stops_scan(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+        loc1 = j.append(b"good")
+        j.append(b"flipped")
+        j.append(b"after")
+        j.close()
+        raw = bytearray(path.read_bytes())
+        raw[loc1.end + JOURNAL_RECORD.size] ^= 0xFF  # corrupt record 2's payload
+        path.write_bytes(bytes(raw))
+        j2 = RecordJournal(path, magic=MAGIC)
+        # Framing after a bad CRC cannot be trusted: record 3 is invisible.
+        assert j2.payloads() == [b"good"]
+        assert j2.scan_damage
+        j2.close()
+
+    def test_append_truncates_damaged_tail(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+        j.append(b"keep")
+        j.close()
+        with open(path, "ab") as fh:
+            fh.write(b"\x07")  # torn write
+        j2 = RecordJournal(path, magic=MAGIC)
+        assert j2.payloads() == [b"keep"]
+        j2.append(b"fresh")
+        assert j2.payloads() == [b"keep", b"fresh"]
+        assert not j2.scan_damage
+        j2.close()
+
+    def test_implausible_length_is_damage(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+        j.append(b"fine")
+        j.close()
+        with open(path, "ab") as fh:
+            fh.write(JOURNAL_RECORD.pack(2**31, 0))
+        j2 = RecordJournal(path, magic=MAGIC)
+        assert j2.payloads() == [b"fine"]
+        assert j2.scan_damage
+        j2.close()
+
+
+class TestForeignFiles:
+    def test_wrong_magic_reads_cold(self, path):
+        other = RecordJournal(path, magic=b"OTHERMAG")
+        other.append(b"not-ours")
+        other.close()
+        j = RecordJournal(path, magic=MAGIC)
+        assert j.payloads() == []
+        assert j.foreign
+        j.close()
+
+    def test_wrong_version_reads_cold_and_rotates(self, path):
+        old = RecordJournal(path, magic=MAGIC, version=1)
+        old.append(b"v1-data")
+        old.close()
+        j = RecordJournal(path, magic=MAGIC, version=2)
+        assert j.payloads() == []
+        j.append(b"v2-data")
+        assert j.payloads() == [b"v2-data"]
+        assert not j.foreign
+        j.close()
+        # The file now carries the new version header.
+        magic, version = JOURNAL_HEADER.unpack(
+            path.read_bytes()[: JOURNAL_HEADER.size]
+        )
+        assert (magic, version) == (MAGIC, 2)
+
+
+class TestRewrite:
+    def test_rewrite_replaces_contents(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+        for i in range(5):
+            j.append(f"old-{i}".encode())
+        locations = j.rewrite([b"new-a", b"new-b"])
+        assert j.payloads() == [b"new-a", b"new-b"]
+        assert [j.read(loc) for loc in locations] == [b"new-a", b"new-b"]
+        j.close()
+
+    def test_rewrite_empty_resets(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+        j.append(b"gone")
+        assert j.rewrite([]) == []
+        assert j.payloads() == []
+        assert j.file_bytes() == JOURNAL_HEADER.size
+        j.close()
+
+    def test_append_after_rewrite(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+        j.append(b"a")
+        j.rewrite([b"b"])
+        j.append(b"c")
+        assert j.payloads() == [b"b", b"c"]
+        j.close()
+
+
+class TestConcurrency:
+    def test_threaded_appends_all_survive(self, path):
+        j = RecordJournal(path, magic=MAGIC)
+
+        def writer(tag: int) -> None:
+            for i in range(25):
+                j.append(f"{tag}:{i}".encode())
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        payloads = j.payloads()
+        assert len(payloads) == 100
+        assert len(set(payloads)) == 100
+        assert not j.scan_damage
+        j.close()
