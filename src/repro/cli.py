@@ -230,6 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="dataset transport to pool workers")
     p_serve.add_argument("--plan-store", type=Path, default=None,
                          help="journaled plan store shared by every job")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         help="per-job wall-clock deadline in seconds; a "
+                              "job past it finishes with status=timeout "
+                              "(default: REPRO_SERVE_JOB_TIMEOUT or 600; "
+                              "0 disables)")
 
     p_submit = sub.add_parser(
         "submit", help="submit one sweep job to a running service"
@@ -252,8 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--retries", type=int, default=0,
                           help="reconnect-and-resubmit attempts after "
                               "dropped connections or queue_full")
-    p_submit.add_argument("--timeout", type=float, default=300.0,
-                          help="socket timeout in seconds")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          help="single knob setting both --connect-timeout "
+                               "and --idle-timeout")
+    p_submit.add_argument("--connect-timeout", type=float, default=None,
+                          help="TCP connect deadline in seconds "
+                               "(default: 10)")
+    p_submit.add_argument("--idle-timeout", type=float, default=None,
+                          help="max silence between server messages in "
+                               "seconds (default: 300)")
     _engine_arg(p_submit)
 
     p_plans = sub.add_parser(
@@ -504,6 +516,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             journal_path=None if args.journal is None else str(args.journal),
             transport=args.transport,
             plan_store=None if args.plan_store is None else str(args.plan_store),
+            job_timeout=args.job_timeout,
         )
     except (ValueError, OSError) as exc:
         print(f"cannot start service: {exc}", file=sys.stderr)
@@ -553,7 +566,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     attempts = max(0, args.retries) + 1
     last_error: Exception | None = None
     for attempt in range(attempts):
-        client = SweepClient(args.host, args.port, timeout=args.timeout)
+        client = SweepClient(
+            args.host, args.port, timeout=args.timeout,
+            connect_timeout=args.connect_timeout,
+            idle_timeout=args.idle_timeout,
+        )
         try:
             client.connect()
             accepted = client.submit(job)

@@ -41,6 +41,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+from ..faults import inject
+
 __all__ = [
     "RecordJournal",
     "RecordLocation",
@@ -236,6 +238,17 @@ class RecordJournal:
             # stale, in which case read() detects the mismatch and the
             # caller misses benignly.
             offset = os.fstat(self._write_fd).st_size
+            if inject("journal.write") == "torn":
+                # Write only part of the record -- a crash mid-append.
+                # The good end stays where it was and the damage flag is
+                # raised, so the *next* append truncates the torn bytes
+                # away: exactly one record is lost, never the file.
+                os.write(self._write_fd, record[: max(1, len(record) // 2)])
+                self.appends += 1
+                self.scan_damage = True
+                return RecordLocation(
+                    offset + JOURNAL_RECORD.size, len(payload), crc
+                )
             os.write(self._write_fd, record)
             self.appends += 1
             self._good_end = offset + len(record)

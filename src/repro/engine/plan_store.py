@@ -116,6 +116,8 @@ class PlanStore:
         self.hits = 0
         self.appends = 0
         self.auto_compactions = 0
+        self.write_errors = 0
+        self._write_error_warned = False
         #: Records superseded by a newer append for the same key (plus
         #: records whose payload could not be unpickled at scan time).
         self.dead_records = 0
@@ -194,12 +196,33 @@ class PlanStore:
     # Writes
     # ------------------------------------------------------------------
     def put(self, key: Any, value: Any) -> None:
-        """Append one record; the in-memory index points at it immediately."""
+        """Append one record; the in-memory index points at it immediately.
+
+        A failed append (disk full, injected journal fault) degrades to
+        not persisting *this* record -- plans are pure, so losing one
+        costs a future re-plan, never correctness.  The failure is
+        counted (``write_errors``) and warned once per store.
+        """
         payload = pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
         with self._lock:
             if self._journal.closed:
                 raise ValueError("PlanStore is closed")
-            location = self._journal.append(payload)
+            try:
+                location = self._journal.append(payload)
+            except (OSError, RuntimeError) as exc:
+                self.write_errors += 1
+                if not self._write_error_warned:
+                    self._write_error_warned = True
+                    import warnings
+
+                    warnings.warn(
+                        f"plan-store append to {self.path} failed "
+                        f"({type(exc).__name__}: {exc}); the plan stays "
+                        f"usable in memory but was not persisted",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                return
             if key in self._index:
                 self.dead_records += 1
             self._index[key] = location
@@ -256,6 +279,7 @@ class PlanStore:
                 "records": len(self._index),
                 "appends": self.appends,
                 "hits": self.hits,
+                "write_errors": self.write_errors,
                 "dead_records": self.dead_records,
                 "file_bytes": self._journal.file_bytes(),
                 "compact_ratio": self.compact_ratio,

@@ -72,14 +72,17 @@ import os
 import pickle
 import struct
 import threading
+import time
 import zlib
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 import numpy as np
 
+from ..faults import inject
 from ..sparse.corpus import Dataset
 from ..sparse.csr import CsrMatrix
 from ..sparse.tensor import SparseTensor3
@@ -106,6 +109,7 @@ __all__ = [
     "PROBLEM_CACHE_ENTRIES_ENV",
     "PROBLEM_CACHE_BYTES_ENV",
     "SHARED_ORACLE_BYTES_ENV",
+    "BATCH_TIMEOUT_ENV",
 ]
 
 #: Dataset transports :class:`SweepExecutor` understands.  ``auto``
@@ -121,6 +125,17 @@ PROBLEM_CACHE_BYTES_ENV = "REPRO_PROBLEM_CACHE_BYTES"
 #: Byte budget for the parent-coordinated shared-oracle directory; 0
 #: disables cross-worker oracle sharing entirely.
 SHARED_ORACLE_BYTES_ENV = "REPRO_SHARED_ORACLE_BYTES"
+
+#: Floor, in seconds, of the per-batch watchdog deadline (the full
+#: allowance also scales with the batch's staged weight).  ``0`` (or
+#: negative) disables the watchdog and restores unbounded waits.
+BATCH_TIMEOUT_ENV = "REPRO_BATCH_TIMEOUT"
+DEFAULT_BATCH_TIMEOUT = 300.0
+
+#: Extra deadline seconds granted per unit of staged batch weight
+#: (weight ~ array elements + a fixed per-dataset overhead), so huge
+#: batches are not misdiagnosed as hangs at the floor.
+_TIMEOUT_SECONDS_PER_WEIGHT = 1e-6
 
 
 def _shared_memory():
@@ -316,6 +331,9 @@ class _PublishedDataset:
         self.pins = 0
         self.tick = 0
         self.nbytes = shm.size
+        # Set when an attach failure condemned the block: it leaves the
+        # publish cache immediately and is unlinked once its pins drop.
+        self.defunct = False
 
     def unlink(self) -> None:
         try:
@@ -449,6 +467,8 @@ def publish_dataset(
     shared_memory = _shared_memory()
     if shared_memory is None:
         return None
+    if inject("shm.publish") is not None:
+        return None  # injected publish refusal: caller falls back to pickle
     bundle = _pack_bundle(dataset) if _bundle is None else _bundle
     if bundle is None:
         return None
@@ -480,6 +500,17 @@ def attach_dataset(handle: ArrayBundleHandle) -> tuple[Dataset, object]:
     """
     shared_memory = _shared_memory()
     assert shared_memory is not None
+    fault = inject("shm.attach")
+    if fault == "crc":
+        raise ValueError(
+            f"shared-memory bundle of dataset {handle.dataset_name!r} "
+            f"failed its CRC check (injected fault)"
+        )
+    if fault == "drop":
+        raise FileNotFoundError(
+            f"shared-memory block {handle.shm_name!r} vanished "
+            f"(injected fault)"
+        )
     codec = _SHM_CODECS.get(handle.codec)
     if codec is None:
         raise KeyError(
@@ -569,6 +600,8 @@ def publish_payload(payload: Any) -> SharedPayloadHandle | None:
     shared_memory = _shared_memory()
     if shared_memory is None:  # pragma: no cover - always present
         return None
+    if inject("oracle.publish") is not None:
+        return None  # injected refusal: the worker keeps its local copy
     codec = shm_codec_for(payload)
     try:
         if codec is not None:
@@ -620,6 +653,8 @@ def attach_payload(handle: SharedPayloadHandle) -> Any | None:
     shared_memory = _shared_memory()
     if shared_memory is None:  # pragma: no cover - always present
         return None
+    if inject("oracle.attach") is not None:
+        return None  # injected attach failure: caller rebuilds locally
     cached = _PAYLOAD_ATTACHMENTS.get(handle.shm_name)
     if cached is not None:
         _PAYLOAD_ATTACHMENTS.move_to_end(handle.shm_name)
@@ -712,6 +747,7 @@ def home_slot(placement_key: Any, width: int) -> int:
 # ----------------------------------------------------------------------
 def _worker_warmup(cache_dir: str | None, store_path: str | None) -> None:
     """Pool initializer: pay the import + cache-attach cost exactly once."""
+    inject("worker.start")
     import numpy  # noqa: F401  (pre-faulted into the worker)
 
     from .. import apps  # noqa: F401  (registers every app and schedule)
@@ -944,6 +980,19 @@ class _BatchItem:
     placement: dict
     oracle: SharedPayloadHandle | None = None
     publish: bool = False
+    weight: float = 0.0  # staged weight (drives the watchdog allowance)
+
+
+@dataclass(frozen=True)
+class _AttachFailure:
+    """Worker-side marker returned in a shard's row slot when its shm
+    attach failed (CRC mismatch, vanished block, unknown codec); the
+    parent condemns the published block and re-runs the shard over the
+    pickle transport instead of failing the batch."""
+
+    index: int
+    shm_name: str
+    error: str
 
 
 def _run_batch(items: tuple) -> tuple[list, list]:
@@ -954,10 +1003,13 @@ def _run_batch(items: tuple) -> tuple[list, list]:
     oracles this worker built and published; the parent adopts them into
     its shared-oracle directory.  If the batch dies mid-flight its own
     publications are reclaimed here -- the parent never learned their
-    names.
+    names.  A shard whose shm attach fails yields an
+    :class:`_AttachFailure` in its row slot; the rest of the batch still
+    runs.
     """
     from ..evaluation.harness import _run_shard
 
+    inject("worker.batch")
     out = []
     publications: list = []
     pid = os.getpid()
@@ -965,7 +1017,17 @@ def _run_batch(items: tuple) -> tuple[list, list]:
         for item in items:
             task = item.task
             if isinstance(task.dataset, ArrayBundleHandle):
-                task = replace(task, dataset=_attached_dataset(task.dataset))
+                try:
+                    task = replace(
+                        task, dataset=_attached_dataset(task.dataset)
+                    )
+                except (OSError, ValueError, KeyError) as exc:
+                    out.append(_AttachFailure(
+                        index=item.index,
+                        shm_name=task.dataset.shm_name,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ))
+                    continue
             rows = _run_shard(
                 task,
                 dataset_key=item.dataset_key,
@@ -987,6 +1049,26 @@ def _worker_probe(_=None) -> int:
     return os.getpid()
 
 
+#: One warning per process when a shm attach degrades to pickling --
+#: visible, but not once per affected shard.
+_TRANSPORT_FALLBACK_WARNED = False
+
+
+def _warn_transport_fallback(failure: _AttachFailure) -> None:
+    global _TRANSPORT_FALLBACK_WARNED
+    if _TRANSPORT_FALLBACK_WARNED:
+        return
+    _TRANSPORT_FALLBACK_WARNED = True
+    import warnings
+
+    warnings.warn(
+        f"shared-memory attach failed ({failure.error}); re-running the "
+        f"affected shard(s) over the pickle transport",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
 # ----------------------------------------------------------------------
 # The persistent executor
 # ----------------------------------------------------------------------
@@ -1003,10 +1085,14 @@ class _WorkerSlot:
 
     index: int
     pool: ProcessPoolExecutor
+    #: Set when the watchdog SIGKILLed this slot's worker: the executor
+    #: may not have noticed the death yet, but the slot must be respawned
+    #: before it can take work again.
+    dead: bool = False
 
     @property
     def broken(self) -> bool:
-        return bool(getattr(self.pool, "_broken", False))
+        return self.dead or bool(getattr(self.pool, "_broken", False))
 
 
 @dataclass
@@ -1058,6 +1144,7 @@ class SweepExecutor:
         batch_atoms: int | None = None,
         shm_cache_bytes: int | None = None,
         oracle_cache_bytes: int | None = None,
+        batch_timeout: float | None = None,
     ):
         if transport not in TRANSPORTS:
             raise ValueError(
@@ -1074,11 +1161,16 @@ class SweepExecutor:
             self._oracle_budget_from_env() if oracle_cache_bytes is None
             else int(oracle_cache_bytes)
         )
+        self.batch_timeout = (
+            self._batch_timeout_from_env() if batch_timeout is None
+            else float(batch_timeout)
+        )
         self._slots: list[_WorkerSlot] = []
         self._width = 0
         self._lock = threading.Lock()
         self._shm_lock = threading.Lock()
         self._published: dict[tuple, _PublishedDataset] = {}
+        self._defunct: list[_PublishedDataset] = []
         self._shared_oracles: dict[tuple, _SharedPayloadRecord] = {}
         self._clock = itertools.count()
         self.sweeps = 0
@@ -1092,6 +1184,14 @@ class SweepExecutor:
         self.oracle_evicted = 0
         self.sticky_shards = 0
         self.stolen_shards = 0
+        # Failure-path telemetry (see map_shards): watchdog expiries,
+        # batches re-run on another slot, shards run in-parent, synthetic
+        # error rows emitted, and shm attaches degraded to pickling.
+        self.batch_timeouts = 0
+        self.batch_retries = 0
+        self.degraded_shards = 0
+        self.error_rows = 0
+        self.transport_fallbacks = 0
 
     @classmethod
     def _oracle_budget_from_env(cls) -> int:
@@ -1110,6 +1210,24 @@ class SweepExecutor:
                 stacklevel=3,
             )
             return cls.DEFAULT_ORACLE_CACHE_BYTES
+
+    @classmethod
+    def _batch_timeout_from_env(cls) -> float:
+        raw = os.environ.get(BATCH_TIMEOUT_ENV)
+        if not raw:
+            return DEFAULT_BATCH_TIMEOUT
+        try:
+            return float(raw)
+        except ValueError:
+            import warnings
+
+            warnings.warn(
+                f"ignoring non-numeric {BATCH_TIMEOUT_ENV}={raw!r}; "
+                f"using the default batch watchdog deadline",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return DEFAULT_BATCH_TIMEOUT
 
     # -- pool lifecycle -------------------------------------------------
     def _spawn_slot(self, index: int) -> _WorkerSlot:
@@ -1185,6 +1303,9 @@ class SweepExecutor:
             for entry in self._published.values():
                 entry.unlink()
             self._published.clear()
+            for entry in self._defunct:
+                entry.unlink()
+            self._defunct.clear()
             for record in self._shared_oracles.values():
                 record.unlink()
             self._shared_oracles.clear()
@@ -1334,6 +1455,14 @@ class SweepExecutor:
         with self._shm_lock:
             for entry in pinned:
                 entry.pins -= 1
+            if self._defunct:
+                keep = []
+                for entry in self._defunct:
+                    if entry.pins <= 0:
+                        entry.unlink()
+                    else:
+                        keep.append(entry)
+                self._defunct = keep
             total = sum(e.nbytes for e in self._published.values())
             if total <= self.shm_cache_bytes:
                 return
@@ -1514,6 +1643,7 @@ class SweepExecutor:
                         },
                         oracle=oracle_handles.get(shard.index),
                         publish=share_oracles,
+                        weight=shard.weight,
                     )
                     for shard in batch
                 )
@@ -1530,9 +1660,24 @@ class SweepExecutor:
 
         Equivalent to ``[ _run_shard(t) for t in tasks ]`` but fanned out
         over the (persistent) pool, with sticky placement, batching and
-        the configured dataset transport.  Exceptions raised inside a
-        worker propagate (after every in-flight batch settles, so
-        successful batches' oracle publications are never leaked).
+        the configured dataset transport.  Deterministic exceptions
+        raised inside a worker (bad app, validation failure) propagate
+        after every in-flight batch settles, so successful batches'
+        oracle publications are never leaked.
+
+        Failure semantics (``batch_timeout`` > 0, the default): every
+        batch gets a deadline -- the floor plus a weight-proportional
+        allowance, cumulative per slot since one slot runs its batches
+        serially.  A batch that misses its deadline has its worker
+        SIGKILLed (the slot is respawned in place); batches lost to a
+        timeout or a crashed worker are retried once on a neighbouring
+        slot, then degraded to bounded in-parent execution.  Shards that
+        still fail surface as synthetic rows with
+        ``meta["status"]`` ``"timeout"``/``"error"`` instead of raising.
+        Every row carries ``meta["attempts"]`` (1 = first try, 2 =
+        retried, 3 = degraded) and ``meta["degraded"]``; a shard whose
+        shm attach failed re-runs over pickle and is marked
+        ``meta["transport_fallback"]``.
         """
         tasks = list(tasks)
         if not tasks:
@@ -1548,31 +1693,304 @@ class SweepExecutor:
         oracle_handles, oracle_pinned = self._oracle_handles(staged)
         placed = self._assign(staged, share_oracles, oracle_handles)
         results: dict[int, list] = {}
-        error: BaseException | None = None
+        fallback_indexes: set[int] = set()
         try:
-            futures = [
-                (self._slots[slot].pool.submit(_run_batch, items), items)
-                for slot, items in placed
-            ]
-            for future, items in futures:
-                try:
-                    shard_rows, publications = future.result()
-                except BaseException as exc:
-                    if error is None:
-                        error = exc
-                    continue
-                self._adopt_publications(publications)
-                for item, rows in zip(items, shard_rows):
-                    results[item.index] = rows
+            error = self._run_placed(placed, tasks, results, fallback_indexes)
         finally:
             self._unpin(pinned)
             self._unpin_oracles(oracle_pinned)
         if error is not None:
             raise error
+        for index in fallback_indexes:
+            for row in results.get(index, ()):
+                row.meta["transport_fallback"] = True
         self.sweeps += 1
         self.batches += len(placed)
         self.shards += len(tasks)
         return [results[index] for index in range(len(tasks))]
+
+    def _run_placed(
+        self,
+        placed: list,
+        tasks: list,
+        results: dict,
+        fallback_indexes: set,
+    ) -> BaseException | None:
+        """Drive the placed batches through at most three attempts.
+
+        Round 1 runs the placement as planned.  Whatever it loses to
+        crashes/timeouts is retried once on a neighbouring slot (round
+        2), alongside pickle re-runs of shards whose shm attach failed.
+        Anything round 2 loses is degraded to bounded in-parent
+        execution, which always produces rows (synthetic error rows at
+        worst).  Returns the first *deterministic* worker exception to
+        re-raise after everything settles, or ``None``.
+        """
+        error, lost, bad_attach = self._await_round(placed, results, attempt=1)
+        retry: list[tuple[int, tuple]] = []
+        if bad_attach:
+            retry.extend(
+                self._transport_retry_batches(bad_attach, tasks, fallback_indexes)
+            )
+        if lost:
+            self._respawn_dead_slots()
+            width = max(1, self._width)
+            for slot, items in lost:
+                self.batch_retries += 1
+                retry.append(((slot + 1) % width, items))
+        if not retry:
+            return error
+        retry_error, lost2, bad2 = self._await_round(retry, results, attempt=2)
+        error = error or retry_error
+        leftovers = [item for _slot, items in lost2 for item in items]
+        # A *retried* batch can itself hit an attach failure (its items
+        # still carry shm handles); those shards degrade like the rest.
+        leftovers.extend(item for item, _failure in bad2)
+        for item in leftovers:
+            self._degrade_shard(item, tasks[item.index], results)
+        if lost2:
+            self._respawn_dead_slots()
+        return error
+
+    def _batch_allowance(self, items) -> float:
+        """Deadline seconds for one batch: floor + weight-linear term."""
+        weight = sum(getattr(item, "weight", 0.0) for item in items)
+        return self.batch_timeout + weight * _TIMEOUT_SECONDS_PER_WEIGHT
+
+    def _await_round(
+        self, placed: list, results: dict, attempt: int
+    ) -> tuple[BaseException | None, list, list]:
+        """Submit one round of batches and settle every future.
+
+        Returns ``(deterministic error, lost batches, attach failures)``
+        where lost batches are ``(slot, items)`` pairs that died to a
+        timeout or a broken worker and attach failures are
+        ``(item, _AttachFailure)`` pairs.
+        """
+        watchdog = self.batch_timeout > 0
+        start = time.monotonic()
+        slot_allowance: dict[int, float] = {}
+        submitted = []
+        for slot, items in placed:
+            future = self._slots[slot].pool.submit(_run_batch, items)
+            deadline = None
+            if watchdog:
+                slot_allowance[slot] = (
+                    slot_allowance.get(slot, 0.0) + self._batch_allowance(items)
+                )
+                deadline = start + slot_allowance[slot]
+            submitted.append((future, slot, items, deadline))
+        error: BaseException | None = None
+        lost: list[tuple[int, tuple]] = []
+        bad_attach: list[tuple] = []
+        for future, slot, items, deadline in submitted:
+            try:
+                if deadline is None:
+                    shard_rows, publications = future.result()
+                else:
+                    shard_rows, publications = future.result(
+                        timeout=max(0.05, deadline - time.monotonic())
+                    )
+            except _FuturesTimeout:
+                self.batch_timeouts += 1
+                self._kill_slot(slot)
+                lost.append((slot, items))
+                continue
+            except BrokenExecutor:
+                lost.append((slot, items))
+                continue
+            except BaseException as exc:
+                if error is None:
+                    error = exc
+                continue
+            self._adopt_publications(publications)
+            for item, rows in zip(items, shard_rows):
+                if isinstance(rows, _AttachFailure):
+                    bad_attach.append((item, rows))
+                    continue
+                for row in rows:
+                    row.meta["attempts"] = attempt
+                    row.meta["degraded"] = False
+                    row.meta.setdefault("status", "ok")
+                results[item.index] = rows
+        return error, lost, bad_attach
+
+    def _kill_slot(self, slot_index: int) -> None:
+        """SIGKILL a hung slot's worker and retire its pool in place."""
+        slot = self._slots[slot_index]
+        slot.dead = True
+        processes = getattr(slot.pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.kill()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        try:
+            slot.pool.shutdown(wait=False)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def _respawn_dead_slots(self) -> None:
+        """Respawn killed/broken slots so a retry round has live workers."""
+        with self._lock:
+            respawned = False
+            for i, slot in enumerate(self._slots):
+                if slot.broken:
+                    try:
+                        slot.pool.shutdown(wait=False)
+                    except Exception:  # pragma: no cover - defensive
+                        pass
+                    self._slots[i] = self._spawn_slot(i)
+                    respawned = True
+            if respawned:
+                self.pool_spawns += 1
+
+    def _transport_retry_batches(
+        self, bad_attach: list, tasks: list, fallback_indexes: set
+    ) -> list[tuple[int, tuple]]:
+        """Pickle re-runs for shards whose shm attach failed.
+
+        The condemned block leaves the publish cache (unlinked once its
+        sweep pins drop) so later sweeps republish from the source
+        arrays; the shard itself is resubmitted to its original slot
+        carrying the real dataset instead of a handle.
+        """
+        batches: list[tuple[int, tuple]] = []
+        for item, failure in bad_attach:
+            self.transport_fallbacks += 1
+            fallback_indexes.add(item.index)
+            self._discard_published(failure.shm_name)
+            _warn_transport_fallback(failure)
+            batches.append((
+                item.placement.get("slot", 0),
+                (replace(item, task=tasks[item.index]),),
+            ))
+        return batches
+
+    def _discard_published(self, shm_name: str) -> None:
+        """Condemn one published block after a worker failed to attach it."""
+        with self._shm_lock:
+            for key, entry in list(self._published.items()):
+                if entry.handle.shm_name == shm_name:
+                    entry.defunct = True
+                    self._defunct.append(entry)
+                    del self._published[key]
+
+    def _degrade_shard(self, item, task, results: dict) -> None:
+        """Last resort: run one shard in the parent, on a bounded thread.
+
+        ``task`` is the sweep's *original* task (real dataset, no shm
+        handle).  A deterministic failure or a blown deadline yields
+        synthetic error rows -- by this point the shard has already
+        cost a worker twice, so surfacing a typed row beats raising.
+        """
+        from .plan_cache import global_plan_cache
+
+        self.degraded_shards += 1
+        cache = global_plan_cache()
+        prev_dir, prev_store = cache.cache_dir, cache.store_path
+        outcome: dict = {}
+
+        def _runner() -> None:
+            from ..evaluation.harness import _run_shard
+
+            try:
+                outcome["rows"] = _run_shard(task, dataset_key=item.dataset_key)
+            except BaseException as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(
+            target=_runner, daemon=True, name="repro-degraded-shard"
+        )
+        thread.start()
+        timeout = (
+            self._batch_allowance((item,)) if self.batch_timeout > 0 else None
+        )
+        thread.join(timeout)
+        self._restore_plan_persistence(prev_dir, prev_store)
+        if thread.is_alive():
+            self.batch_timeouts += 1
+            results[item.index] = self._error_rows(
+                task, item, "timeout",
+                "degraded in-parent execution exceeded its deadline",
+            )
+        elif "error" in outcome:
+            exc = outcome["error"]
+            results[item.index] = self._error_rows(
+                task, item, "error", f"{type(exc).__name__}: {exc}"
+            )
+        else:
+            rows = outcome["rows"]
+            for row in rows:
+                row.meta["attempts"] = 3
+                row.meta["degraded"] = True
+                row.meta.setdefault("status", "ok")
+                row.meta["placement"] = self._degraded_placement(item)
+            results[item.index] = rows
+
+    @staticmethod
+    def _degraded_placement(item) -> dict:
+        return {
+            "home": item.placement.get("home", 0),
+            "slot": -1,
+            "mode": "degraded",
+            "pid": os.getpid(),
+        }
+
+    @staticmethod
+    def _restore_plan_persistence(cache_dir, store_path) -> None:
+        """Reattach the parent's plan persistence after a degraded run
+        (the shard's ``_run_shard`` call reconfigures the process-global
+        cache for *its* context; the parent must get its own back)."""
+        from .plan_cache import configure_global_plan_cache
+
+        try:
+            if store_path is not None:
+                configure_global_plan_cache(store_path=store_path)
+            elif cache_dir is not None:
+                configure_global_plan_cache(cache_dir)
+            else:
+                configure_global_plan_cache(None)
+        except Exception:  # pragma: no cover - restoration is best-effort
+            pass
+
+    def _error_rows(self, task, item, status: str, message: str) -> list:
+        """Synthetic per-kernel rows for a shard that exhausted every
+        attempt: ``elapsed`` 0.0, real dataset dims where known, and the
+        failure typed in ``meta`` (``status``/``error``)."""
+        from ..evaluation.harness import SweepRow
+
+        dataset = task.dataset
+        matrix = getattr(dataset, "matrix", None)
+        try:
+            num_rows = int(matrix.num_rows)
+            num_cols = int(matrix.num_cols)
+            nnzs = int(matrix.nnz)
+        except (AttributeError, TypeError, ValueError):
+            num_rows = num_cols = nnzs = 0
+        name = getattr(dataset, "name", "") or getattr(
+            dataset, "dataset_name", ""
+        )
+        rows = []
+        for kernel in task.kernels:
+            self.error_rows += 1
+            rows.append(SweepRow(
+                app=task.app,
+                kernel=kernel,
+                dataset=name,
+                rows=num_rows,
+                cols=num_cols,
+                nnzs=nnzs,
+                elapsed=0.0,
+                meta={
+                    "status": status,
+                    "error": message,
+                    "attempts": 3,
+                    "degraded": True,
+                    "placement": self._degraded_placement(item),
+                },
+            ))
+        return rows
 
     def info(self) -> dict:
         with self._shm_lock:
@@ -1601,6 +2019,12 @@ class SweepExecutor:
             "oracle_cached_bytes": oracle_cached_bytes,
             "sticky_shards": self.sticky_shards,
             "stolen_shards": self.stolen_shards,
+            "batch_timeout": self.batch_timeout,
+            "batch_timeouts": self.batch_timeouts,
+            "batch_retries": self.batch_retries,
+            "degraded_shards": self.degraded_shards,
+            "error_rows": self.error_rows,
+            "transport_fallbacks": self.transport_fallbacks,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

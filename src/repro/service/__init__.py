@@ -25,7 +25,9 @@ from .protocol import (
     row_to_wire,
 )
 from .server import (
+    DEFAULT_JOB_TIMEOUT,
     DEFAULT_QUEUE_DEPTH,
+    SERVE_JOB_TIMEOUT_ENV,
     SERVE_QUEUE_DEPTH_ENV,
     SERVE_WIDTH_ENV,
     SweepService,
@@ -48,6 +50,8 @@ __all__ = [
     "row_to_wire",
     "row_from_wire",
     "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_JOB_TIMEOUT",
     "SERVE_QUEUE_DEPTH_ENV",
+    "SERVE_JOB_TIMEOUT_ENV",
     "SERVE_WIDTH_ENV",
 ]

@@ -22,8 +22,10 @@ family from :meth:`SweepClient.connect`.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -41,7 +43,18 @@ __all__ = [
     "JobResult",
     "ServiceError",
     "JobRejected",
+    "DEFAULT_CONNECT_TIMEOUT",
+    "DEFAULT_IDLE_TIMEOUT",
 ]
+
+#: How long :meth:`SweepClient.connect` waits for the TCP handshake --
+#: a dead host should fail in seconds, not the per-message budget.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+#: How long a read may sit with no bytes from the server before the
+#: stream is declared broken (rows arrive one unit at a time, so this
+#: bounds *silence*, not job duration).
+DEFAULT_IDLE_TIMEOUT = 300.0
 
 
 class ServiceError(RuntimeError):
@@ -82,13 +95,31 @@ class SweepClient:
     """One synchronous JSON-lines connection to a :class:`SweepService`."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 timeout: float = 300.0):
+                 timeout: float | None = None,
+                 connect_timeout: float | None = None,
+                 idle_timeout: float | None = None):
         self.host = host
         self.port = int(port)
-        self.timeout = timeout
+        #: ``timeout=`` is the back-compat single knob: it sets both
+        #: phases.  The split knobs win when given explicitly --
+        #: connecting to a dead host and a quiet-but-healthy stream
+        #: deserve very different budgets.
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None
+            else (timeout if timeout is not None else DEFAULT_CONNECT_TIMEOUT)
+        )
+        self.idle_timeout = (
+            idle_timeout if idle_timeout is not None
+            else (timeout if timeout is not None else DEFAULT_IDLE_TIMEOUT)
+        )
         self._sock: socket.socket | None = None
         self._file = None
         self.server_hello: dict | None = None
+
+    @property
+    def timeout(self) -> float:
+        """Back-compat view of the per-message idle budget."""
+        return self.idle_timeout
 
     # ------------------------------------------------------------------
     # Connection management
@@ -97,8 +128,9 @@ class SweepClient:
         """Open the connection and verify the server's ``hello``."""
         self.close()
         sock = socket.create_connection(
-            (self.host, self.port), timeout=self.timeout
+            (self.host, self.port), timeout=self.connect_timeout
         )
+        sock.settimeout(self.idle_timeout)
         self._sock = sock
         self._file = sock.makefile("rb")
         hello = self._read_message()
@@ -172,6 +204,14 @@ class SweepClient:
             raise ServiceError(f"expected info, got {answer.get('type')!r}")
         return answer.get("info") or {}
 
+    def status(self) -> dict:
+        """The server's liveness probe: queue/fault/retry gauges."""
+        self._send_message({"op": "status"})
+        answer = self._read_message()
+        if answer.get("type") != "status":
+            raise ServiceError(f"expected status, got {answer.get('type')!r}")
+        return {k: v for k, v in answer.items() if k != "type"}
+
     def submit(self, job: dict) -> dict:
         """Submit one job; returns the ``accepted`` message.
 
@@ -211,19 +251,40 @@ class SweepClient:
                 return
 
     def run(self, job: dict, *, retries: int = 0,
-            retry_delay: float = 0.2) -> JobResult:
+            retry_delay: float = 0.2, max_delay: float = 5.0,
+            deadline: float | None = None, seed: int = 0) -> JobResult:
         """Submit, stream to completion, and collect a :class:`JobResult`.
 
         ``retries`` reconnect-and-resubmit attempts cover dropped
         connections and ``queue_full`` rejections (jobs are pure, so a
         resubmission at worst recomputes).  ``bad_request`` rejections
         never retry -- the job itself is wrong.
+
+        Backoff between attempts is exponential from ``retry_delay``,
+        capped at ``max_delay``, with deterministic jitter drawn from a
+        ``random.Random`` seeded by ``seed`` and the job -- the same
+        seed replays the same delays (chaos tests stay reproducible),
+        while different clients still decorrelate.  ``deadline`` bounds
+        the *total* wall clock across every attempt: no sleep extends
+        past it, and once it passes the last error is raised instead of
+        retrying.
         """
         attempts = retries + 1
+        start = time.monotonic()
+        rng = random.Random(
+            seed ^ zlib.crc32(repr(sorted(job.items())).encode())
+        )
         last_error: Exception | None = None
         for attempt in range(attempts):
             if attempt:
-                time.sleep(retry_delay * attempt)
+                delay = min(max_delay, retry_delay * (2 ** (attempt - 1)))
+                delay *= 0.5 + rng.random() / 2  # jitter in [0.5, 1.0)
+                if deadline is not None:
+                    remaining = deadline - (time.monotonic() - start)
+                    if remaining <= 0:
+                        break
+                    delay = min(delay, remaining)
+                time.sleep(delay)
             try:
                 if not self.connected:
                     self.connect()

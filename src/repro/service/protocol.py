@@ -13,6 +13,11 @@ Client -> server operations (``{"op": ...}``):
     / ``row_error`` messages and ends with ``done``.
 ``ping`` / ``info``
     Liveness probe / server statistics.  Answered by ``pong`` / ``info``.
+``status``
+    Operational probe: queue depth, pool width, in-flight job ids,
+    job counters, executor retry/degradation counters and the fault-
+    injection registry (:func:`repro.faults.faults_active`).  Answered
+    by ``{"type": "status", ...}``.
 
 Server -> client messages (``{"type": ...}``):
 
@@ -33,11 +38,13 @@ Server -> client messages (``{"type": ...}``):
     --rows-jsonl`` writes (see :func:`row_to_wire`), so placement and
     cache counters flow to clients through ``meta``.
 ``row_error``
-    One dataset shard failed (worker crash, validation failure); the
-    job carries on with its remaining shards.
+    One dataset shard failed (worker crash, validation failure, or the
+    job's ``REPRO_SERVE_JOB_TIMEOUT`` deadline); the job carries on
+    with its remaining shards -- unless the deadline passed, in which
+    case every remaining shard fails immediately (bounded time).
 ``done``
     The job finished: ``{"type": "done", "job_id": ..., "rows": R,
-    "failed": F, "status": "ok" | "partial"}``.
+    "failed": F, "status": "ok" | "partial" | "timeout"}``.
 ``error``
     The *request* was malformed (undecodable line, unknown op).  The
     connection stays usable.

@@ -48,11 +48,13 @@ import itertools
 import os
 import signal
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..engine.context import ExecutionContext
+from ..faults import faults_active, inject
 from ..engine.worker_pool import TRANSPORTS, SweepExecutor
 from ..evaluation.harness import expand_datasets, run_suite
 from ..sparse.corpus import Dataset
@@ -69,7 +71,9 @@ __all__ = [
     "SweepService",
     "SERVE_QUEUE_DEPTH_ENV",
     "SERVE_WIDTH_ENV",
+    "SERVE_JOB_TIMEOUT_ENV",
     "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_JOB_TIMEOUT",
 ]
 
 #: Bounded job-queue depth (pending = accepted, not yet done); past it,
@@ -81,6 +85,31 @@ SERVE_QUEUE_DEPTH_ENV = "REPRO_SERVE_QUEUE_DEPTH"
 SERVE_WIDTH_ENV = "REPRO_SERVE_WIDTH"
 
 DEFAULT_QUEUE_DEPTH = 16
+
+#: Wall-clock deadline for one accepted job, start of execution to
+#: ``done`` (``0`` disables).  A job past it stops consuming units and
+#: finishes with ``status:"timeout"`` -- bounded-time failure, not a
+#: hung stream.
+SERVE_JOB_TIMEOUT_ENV = "REPRO_SERVE_JOB_TIMEOUT"
+DEFAULT_JOB_TIMEOUT = 600.0
+
+
+def _job_timeout_from_env() -> float:
+    raw = os.environ.get(SERVE_JOB_TIMEOUT_ENV)
+    if not raw:
+        return DEFAULT_JOB_TIMEOUT
+    try:
+        return float(raw)
+    except ValueError:
+        import warnings
+
+        warnings.warn(
+            f"ignoring non-numeric {SERVE_JOB_TIMEOUT_ENV}={raw!r}; "
+            f"using the default job deadline",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return DEFAULT_JOB_TIMEOUT
 
 
 def _queue_depth_from_env() -> int:
@@ -122,6 +151,9 @@ class _Job:
     total_units: int
     rows_streamed: int = 0
     failed_units: int = 0
+    #: Absolute monotonic deadline (set at admission; ``None`` = none).
+    deadline: float | None = None
+    timed_out: bool = False
 
 
 @dataclass(eq=False)
@@ -164,6 +196,7 @@ class SweepService:
         transport: str = "auto",
         plan_store: str | None = None,
         executor: SweepExecutor | None = None,
+        job_timeout: float | None = None,
     ):
         if transport not in TRANSPORTS:
             raise ValueError(
@@ -176,6 +209,10 @@ class SweepService:
         self.width = width
         self.queue_depth = (
             _queue_depth_from_env() if queue_depth is None else int(queue_depth)
+        )
+        self.job_timeout = (
+            _job_timeout_from_env() if job_timeout is None
+            else float(job_timeout)
         )
         self.transport = transport
         self.plan_store = None if plan_store is None else str(plan_store)
@@ -208,7 +245,12 @@ class SweepService:
         self.jobs_accepted = 0
         self.jobs_rejected = 0
         self.jobs_done = 0
+        self.jobs_timed_out = 0
         self.rows_streamed = 0
+        self.journal_errors = 0
+        self._journal_error_warned = False
+        #: Job ids currently executing a unit (the ``status`` gauge).
+        self._in_flight: set[str] = set()
 
     # ------------------------------------------------------------------
     # Job admission
@@ -309,6 +351,8 @@ class SweepService:
                 "reason": "bad_request",
                 "error": f"{exc}",
             }
+        if self.job_timeout > 0:
+            job.deadline = time.monotonic() + self.job_timeout
         client.jobs.append(job)
         self._pending += 1
         self.jobs_accepted += 1
@@ -341,6 +385,7 @@ class SweepService:
         the service owns one -- so rows are bit-identical to a direct
         library call and inherit every warm-path cache.
         """
+        inject("serve.dispatch")
         if self._pool is None:
             return run_suite(
                 job.kernels,
@@ -390,6 +435,10 @@ class SweepService:
             if client.closed:
                 self._drop_jobs(client)
                 continue
+            if job.timed_out:
+                # The deadline fell mid-job: every remaining unit fails
+                # immediately (bounded time beats completeness here).
+                await self._flush_timed_out_units(client, job)
             if not job.units:
                 self._finish_job(client, job)
                 await self._send(client, {
@@ -397,7 +446,7 @@ class SweepService:
                     "job_id": job.job_id,
                     "rows": job.rows_streamed,
                     "failed": job.failed_units,
-                    "status": "partial" if job.failed_units else "ok",
+                    "status": self._job_status(job),
                 })
             if client.jobs and not client.scheduled:
                 client.scheduled = True
@@ -406,11 +455,70 @@ class SweepService:
                 break
         self._stopped.set()
 
+    @staticmethod
+    def _job_status(job: _Job) -> str:
+        if job.timed_out:
+            return "timeout"
+        return "partial" if job.failed_units else "ok"
+
+    async def _flush_timed_out_units(
+        self, client: _ClientState, job: _Job
+    ) -> None:
+        """Fail every not-yet-run unit of a job past its deadline."""
+        while job.units:
+            dataset = job.units.popleft()
+            job.failed_units += 1
+            event = {
+                "event": "row_error",
+                "job_id": job.job_id,
+                "dataset": dataset.name,
+                "error": "job deadline exceeded",
+            }
+            self._journal_event(event)
+            await self._send(client, {"type": "row_error", **{
+                k: v for k, v in event.items() if k != "event"
+            }, "status": "timeout"})
+
     async def _run_one_unit(
         self, client: _ClientState, job: _Job, dataset: Dataset
     ) -> None:
+        remaining: float | None = None
+        if job.deadline is not None:
+            remaining = job.deadline - time.monotonic()
+            if remaining <= 0:
+                job.timed_out = True
+                self.jobs_timed_out += 1
+                job.units.appendleft(dataset)  # flushed with the rest
+                return
+        self._in_flight.add(job.job_id)
         try:
-            rows = await asyncio.to_thread(self._execute_unit, job, dataset)
+            coro = asyncio.to_thread(self._execute_unit, job, dataset)
+            if remaining is None:
+                rows = await coro
+            else:
+                # The abandoned thread keeps running to completion in the
+                # background (to_thread cannot be killed), but the job
+                # stops waiting: its stream stays bounded in time.
+                rows = await asyncio.wait_for(coro, timeout=remaining)
+        except (TimeoutError, asyncio.TimeoutError):
+            job.timed_out = True
+            self.jobs_timed_out += 1
+            job.failed_units += 1
+            error = f"job deadline exceeded ({self.job_timeout:g}s)"
+            self._journal_event({
+                "event": "row_error",
+                "job_id": job.job_id,
+                "dataset": dataset.name,
+                "error": error,
+            })
+            await self._send(client, {
+                "type": "row_error",
+                "job_id": job.job_id,
+                "dataset": dataset.name,
+                "error": error,
+                "status": "timeout",
+            })
+            return
         except BaseException as exc:
             if isinstance(exc, asyncio.CancelledError):
                 raise
@@ -433,6 +541,8 @@ class SweepService:
                 "error": error,
             })
             return
+        finally:
+            self._in_flight.discard(job.job_id)
         for row in rows:
             wire = row_to_wire(row)
             job.rows_streamed += 1
@@ -459,7 +569,7 @@ class SweepService:
             "job_id": job.job_id,
             "rows": job.rows_streamed,
             "failed": job.failed_units,
-            "status": "partial" if job.failed_units else "ok",
+            "status": self._job_status(job),
         })
 
     def _drop_jobs(self, client: _ClientState) -> None:
@@ -470,14 +580,39 @@ class SweepService:
             self._journal_event({"event": "abandoned", "job_id": job.job_id})
 
     def _journal_event(self, event: dict) -> None:
-        if self._journal is not None:
+        """Append one event; a journal failure costs the *record*, never
+        the job -- results still stream, and the miss is counted."""
+        if self._journal is None:
+            return
+        try:
+            inject("serve.journal")
             self._journal.append(event)
+        except Exception as exc:
+            self.journal_errors += 1
+            if not self._journal_error_warned:
+                self._journal_error_warned = True
+                import warnings
+
+                warnings.warn(
+                    f"results-journal append failed "
+                    f"({type(exc).__name__}: {exc}); job results still "
+                    f"stream but this event was not journaled",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
     async def _send(self, client: _ClientState, message: dict) -> None:
         if client.closed:
+            return
+        if inject("serve.connection") == "drop":
+            # Simulate the peer vanishing mid-stream: the writer closes
+            # and the dispatcher's closed-client path abandons the jobs.
+            client.closed = True
+            with contextlib.suppress(Exception):
+                client.writer.close()
             return
         data = encode_message(message)
         async with client.write_lock:
@@ -518,6 +653,10 @@ class SweepService:
                     await self._send(client, {"type": "pong"})
                 elif op == "info":
                     await self._send(client, {"type": "info", "info": self.info()})
+                elif op == "status":
+                    await self._send(
+                        client, {"type": "status", **self.status()}
+                    )
                 elif op == "submit":
                     response = self._admit(client, message.get("job") or {})
                     await self._send(client, response)
@@ -630,8 +769,16 @@ class SweepService:
         self._thread.start()
 
     def wait_ready(self, timeout: float = 30.0) -> tuple[str, int]:
-        """Block until the listener is bound; returns ``(host, port)``."""
+        """Block until the listener is bound; returns ``(host, port)``.
+
+        On timeout the background thread is drained (releasing any port
+        it did manage to bind) before ``TimeoutError`` is raised, so a
+        failed startup never leaks a listener.
+        """
         if not self._ready.wait(timeout):
+            self.request_drain()
+            if self._thread is not None:
+                self._thread.join(5.0)
             raise TimeoutError("sweep service did not come up in time")
         if self._thread_error is not None:
             raise RuntimeError(
@@ -648,10 +795,18 @@ class SweepService:
             self.begin_drain()
 
     def join(self, timeout: float = 120.0) -> None:
-        """Wait for a backgrounded service to finish draining."""
+        """Wait for a backgrounded service to finish draining.
+
+        On timeout a drain is (re)requested and the thread given one
+        short grace period; if it still will not die, ``TimeoutError``
+        carries that fact instead of the caller hanging forever.
+        """
         if self._thread is None:
             return
         self._thread.join(timeout)
+        if self._thread.is_alive():
+            self.request_drain()
+            self._thread.join(5.0)
         if self._thread.is_alive():
             raise TimeoutError("sweep service did not drain in time")
         if self._thread_error is not None:
@@ -673,15 +828,53 @@ class SweepService:
             "port": self.port,
             "queue_depth": self.queue_depth,
             "pending": self._pending,
+            "in_flight": len(self._in_flight),
             "draining": self._draining,
             "clients": len(self._clients),
+            "job_timeout": self.job_timeout,
             "jobs_accepted": self.jobs_accepted,
             "jobs_rejected": self.jobs_rejected,
             "jobs_done": self.jobs_done,
+            "jobs_timed_out": self.jobs_timed_out,
             "rows_streamed": self.rows_streamed,
+            "journal_errors": self.journal_errors,
             "transport": self.transport,
             "journal": None if self._journal is None else str(self._journal.path),
             "executor": executor,
+        }
+
+    def status(self) -> dict:
+        """The liveness probe: queue/fault/retry gauges in one message.
+
+        Unlike :meth:`info` (static configuration + lifetime totals),
+        ``status`` is what an operator polls during an incident: current
+        queue depth, which jobs are actually executing, and every
+        degradation counter the executor and fault registry keep.
+        """
+        pool = self._pool.info() if self._pool is not None else {}
+        return {
+            "queue_depth": self.queue_depth,
+            "pending": self._pending,
+            "in_flight": sorted(self._in_flight),
+            "width": pool.get("width", 0),
+            "draining": self._draining,
+            "clients": len(self._clients),
+            "jobs": {
+                "accepted": self.jobs_accepted,
+                "done": self.jobs_done,
+                "rejected": self.jobs_rejected,
+                "timed_out": self.jobs_timed_out,
+            },
+            "rows_streamed": self.rows_streamed,
+            "journal_errors": self.journal_errors,
+            "retries": {
+                "batch_timeouts": pool.get("batch_timeouts", 0),
+                "batch_retries": pool.get("batch_retries", 0),
+                "degraded_shards": pool.get("degraded_shards", 0),
+                "error_rows": pool.get("error_rows", 0),
+                "transport_fallbacks": pool.get("transport_fallbacks", 0),
+            },
+            "faults": faults_active(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
