@@ -1,0 +1,220 @@
+"""Race verdicts: fold write classes through the schedules' load forms.
+
+For each ``(kernel, schedule)`` cell the analyzer answers the question a
+GPU race detector answers dynamically -- can two threads write the same
+output element? -- but from the schedule's closed-form work partition
+(:func:`~repro.engine.compiled.materialize_loads` and
+:func:`~repro.engine.compiled.tile_writer_counts`), evaluated on a
+canonical skewed workload chosen to exercise every splitting behaviour a
+schedule is capable of (a heavy tile, empty tiles, singleton tiles):
+
+``SAFE``
+    Every write's cross-thread sets are provably disjoint: atom-private
+    writes always; tile-private writes when no tile ever has more than
+    one writer; a global accumulator when at most one thread holds work.
+``REDUCE``
+    One tile's atoms (or the one shared cell) are split across threads:
+    partial results must be combined -- by the ``owns_tile_fully``
+    direct-store contract plus atomics the kernel bodies already follow.
+``SCATTER``
+    A data-dependent write: overlap is possible under *any* partition,
+    so atomics/privatization are required regardless of schedule.
+
+Verdicts depend only on the write classes and the schedule's partition
+capability, never on a specific probe input -- which is what makes the
+shadow-write validation (:mod:`.probe`) a soundness check: a ``SAFE``
+cell must never observe a cross-thread overlap, on any instance.
+
+Matrices are memoized content-keyed (like plans): the key digests the
+declared kernel sources, the schedule set and the canonical workload,
+so edits to any of them invalidate the cached verdicts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+
+import numpy as np
+
+from ..core.schedule import available_schedules, make_schedule
+from ..core.work import WorkSpec
+from ..engine.compiled import materialize_loads, tile_writer_counts
+from ..gpusim.arch import TINY_GPU, GpuSpec
+from .effects import KernelEffects, kernel_effects
+
+__all__ = [
+    "VERDICTS",
+    "FORMAT_VERSION",
+    "canonical_work",
+    "schedule_profile",
+    "cell_verdict",
+    "verdict_matrix",
+]
+
+#: Ordered least- to most-hazardous; a cell takes its worst write.
+VERDICTS = ("SAFE", "REDUCE", "SCATTER")
+FORMAT_VERSION = 1
+
+
+def canonical_work() -> WorkSpec:
+    """The skewed workload the verdicts are evaluated on.
+
+    One heavy tile (it spans several threads under atom-splitting
+    schedules and several lanes under group schedules), a band of
+    mid-size tiles, a run of empty tiles (merge-path full-ownership
+    spans), and singleton tiles -- every partition behaviour a built-in
+    schedule can exhibit shows up on this shape.
+    """
+    counts = [64] + [5] * 12 + [0] * 16 + [1] * 19
+    offsets = np.concatenate(
+        ([0], np.cumsum(np.asarray(counts, dtype=np.int64)))
+    )
+    return WorkSpec.from_offsets(offsets, label="analysis-canonical")
+
+
+def schedule_profile(
+    name: str, work: WorkSpec | None = None, spec: GpuSpec = TINY_GPU
+) -> dict:
+    """The partition facts one schedule contributes to every verdict."""
+    sched = make_schedule(name, work if work is not None else canonical_work(),
+                          spec)
+    writers = tile_writer_counts(sched)
+    atoms, _visits = materialize_loads(sched)
+    if hasattr(sched, "num_chunks"):
+        # Queue schedules are probed under the interpreter's
+        # linearization (one thread drains everything), but concurrent
+        # executions pop chunks from many threads at once: the honest
+        # worker bound is the chunk count.
+        potential = min(int(sched.launch.num_threads), int(sched.num_chunks()))
+    else:
+        potential = int(np.count_nonzero(atoms))
+    return {
+        "schedule": name,
+        "max_tile_writers": int(writers.max(initial=0)),
+        "potential_writers": potential,
+    }
+
+
+def _verdict_for_write(write_class: str, profile: dict) -> str:
+    if write_class == "scatter":
+        return "SCATTER"
+    if write_class == "atom_private":
+        return "SAFE"
+    if write_class == "tile_private":
+        return "SAFE" if profile["max_tile_writers"] <= 1 else "REDUCE"
+    if write_class == "global_reduce":
+        return "SAFE" if profile["potential_writers"] <= 1 else "REDUCE"
+    raise ValueError(f"unknown write class {write_class!r}")
+
+
+def cell_verdict(effects: KernelEffects, profile: dict) -> str:
+    """Worst verdict over a kernel's writes under one schedule."""
+    verdict = "SAFE"
+    for write in effects.writes:
+        v = _verdict_for_write(write.write_class, profile)
+        if VERDICTS.index(v) > VERDICTS.index(verdict):
+            verdict = v
+    return verdict
+
+
+def _resolve(effects_list) -> list:
+    """Replace delegating entries with their target's effects."""
+    by_key = {(e.app, e.label): e for e in effects_list}
+    by_app: dict = {}
+    for e in effects_list:
+        by_app.setdefault(e.app, []).append(e)
+    resolved = []
+    for e in effects_list:
+        if e.delegates_to is None:
+            resolved.append((e, None))
+            continue
+        target = by_key.get((e.delegates_to, e.label))
+        if target is None:
+            candidates = by_app.get(e.delegates_to, [])
+            target = candidates[0] if candidates else None
+        if target is None or target.delegates_to is not None:
+            raise ValueError(
+                f"{e.app}/{e.label} delegates to unknown or further-"
+                f"delegating app {e.delegates_to!r}"
+            )
+        resolved.append((target, e))
+    return resolved
+
+
+_MATRIX_CACHE: dict = {}
+
+
+def _content_key(apps, schedules, spec: GpuSpec) -> str:
+    from ..engine.compiled import effect_declarations
+
+    h = hashlib.sha256()
+    h.update(f"races-v{FORMAT_VERSION}".encode())
+    for decl in effect_declarations():
+        h.update(f"{decl.app}/{decl.label}".encode())
+        if decl.scalar_fn is not None:
+            h.update(inspect.getsource(decl.scalar_fn).encode())
+        h.update(json.dumps(decl.writes, sort_keys=True).encode())
+        h.update(str(decl.delegates_to).encode())
+    h.update(",".join(schedules).encode())
+    h.update(",".join(apps).encode() if apps else b"*")
+    h.update(canonical_work().tile_offsets.tobytes())
+    h.update(spec.name.encode())
+    return h.hexdigest()
+
+
+def verdict_matrix(
+    apps=None, schedules=None, spec: GpuSpec = TINY_GPU
+) -> dict:
+    """The full (kernel x schedule) verdict matrix.
+
+    Returns ``{"schedules": [...], "rows": [{app, label, delegates_to,
+    writes, verdicts: {schedule: verdict}}, ...]}``, covering every
+    registered app (all of them declare effects -- enforced by the
+    ``kernel-parity`` lint) and every registered schedule.
+    """
+    effects_list = kernel_effects()
+    if apps is not None:
+        apps = list(apps)
+        effects_list = [e for e in effects_list if e.app in apps]
+    sched_names = list(schedules) if schedules else available_schedules()
+    key = _content_key(
+        sorted(e.app for e in effects_list), sched_names, spec
+    )
+    cached = _MATRIX_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    profiles = {name: schedule_profile(name, spec=spec)
+                for name in sched_names}
+    rows = []
+    for target, delegator in _resolve(effects_list):
+        entry = delegator if delegator is not None else target
+        rows.append(
+            {
+                "app": entry.app,
+                "label": entry.label,
+                "delegates_to": entry.delegates_to,
+                "writes": [
+                    {
+                        "array": w.array,
+                        "class": w.write_class,
+                        "declared": w.declared,
+                    }
+                    for w in target.writes
+                ],
+                "verdicts": {
+                    name: cell_verdict(target, profiles[name])
+                    for name in sched_names
+                },
+            }
+        )
+    result = {
+        "schedules": sched_names,
+        "profiles": profiles,
+        "rows": rows,
+        "content_key": key,
+    }
+    _MATRIX_CACHE[key] = result
+    return result

@@ -18,6 +18,7 @@ from ..engine import (
     AppSpec,
     CompiledKernel,
     Runtime,
+    declare_kernel_effects,
     register_app,
     register_jit_warmup,
     run_app,
@@ -71,6 +72,7 @@ def _bfs_example_args() -> tuple:
 
 
 register_jit_warmup("bfs", _bfs_relax_scalar, _bfs_example_args)
+declare_kernel_effects("bfs", "advance", scalar_fn=_bfs_relax_scalar)
 
 
 def bfs_reference(graph: CsrGraph, source: int) -> np.ndarray:

@@ -25,6 +25,7 @@ from ..engine import (
     AppSpec,
     CompiledKernel,
     Runtime,
+    declare_kernel_effects,
     register_app,
     register_jit_warmup,
     run_app,
@@ -82,6 +83,7 @@ def _histogram_example_args() -> tuple:
 
 
 register_jit_warmup("histogram", _histogram_scalar, _histogram_example_args)
+declare_kernel_effects("histogram", "histogram", scalar_fn=_histogram_scalar)
 
 
 def degree_histogram_reference(matrix: CsrMatrix) -> np.ndarray:

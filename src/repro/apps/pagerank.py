@@ -17,7 +17,13 @@ from types import SimpleNamespace
 import numpy as np
 
 from ..core.schedule import LaunchParams, Schedule
-from ..engine import AppSpec, Runtime, register_app, run_app
+from ..engine import (
+    AppSpec,
+    Runtime,
+    declare_kernel_effects,
+    register_app,
+    run_app,
+)
 from ..gpusim.arch import GpuSpec
 from ..sparse.convert import csr_transpose
 from ..sparse.csr import CsrMatrix
@@ -25,6 +31,10 @@ from .common import AppResult
 from .spmv import spmv_driver
 
 __all__ = ["pagerank", "pagerank_reference", "pagerank_driver"]
+
+# PageRank declares no kernel of its own: each iteration re-runs the
+# SpMV driver, so its race behaviour *is* SpMV's.
+declare_kernel_effects("pagerank", "spmv", delegates_to="spmv")
 
 
 def _pull_matrix(adjacency: CsrMatrix) -> CsrMatrix:

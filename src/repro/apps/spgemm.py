@@ -29,6 +29,7 @@ from ..engine import (
     AppSpec,
     CompiledKernel,
     Runtime,
+    declare_kernel_effects,
     register_app,
     register_jit_warmup,
     run_app,
@@ -98,6 +99,11 @@ def _spgemm_count_example_args() -> tuple:
 
 
 register_jit_warmup("count", _spgemm_count_scalar, _spgemm_count_example_args)
+declare_kernel_effects("spgemm", "count", scalar_fn=_spgemm_count_scalar)
+# Pass 2 has no scalar form (its sort-based CSR assembly is the
+# computation), so its effects are declared: the hashed per-row
+# accumulation is a data-dependent scatter under every schedule.
+declare_kernel_effects("spgemm", "compute", writes={"c": "scatter"})
 
 
 def _spgemm_compute_arrays(prod_rows, prod_cols, prod_vals, num_rows, num_cols):

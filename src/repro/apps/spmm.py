@@ -19,6 +19,7 @@ from ..engine import (
     AppSpec,
     CompiledKernel,
     Runtime,
+    declare_kernel_effects,
     input_matrix,
     register_app,
     register_jit_warmup,
@@ -83,6 +84,7 @@ def _spmm_example_args() -> tuple:
 
 
 register_jit_warmup("spmm", _spmm_scalar, _spmm_example_args)
+declare_kernel_effects("spmm", "spmm", scalar_fn=_spmm_scalar)
 
 
 def spmm_reference(matrix: CsrMatrix, b: np.ndarray) -> np.ndarray:

@@ -24,6 +24,7 @@ from ..engine import (
     AppSpec,
     CompiledKernel,
     Runtime,
+    declare_kernel_effects,
     input_matrix,
     register_app,
     register_jit_warmup,
@@ -94,6 +95,7 @@ def _mttkrp_example_args() -> tuple:
 
 
 register_jit_warmup("mttkrp", _mttkrp_scalar, _mttkrp_example_args)
+declare_kernel_effects("spmttkrp", "mttkrp", scalar_fn=_mttkrp_scalar)
 
 
 def spmttkrp_reference(

@@ -21,6 +21,7 @@ from ..engine import (
     AppSpec,
     CompiledKernel,
     Runtime,
+    declare_kernel_effects,
     input_vector,
     register_app,
     register_jit_warmup,
@@ -65,6 +66,7 @@ def _spmv_example_args() -> tuple:
 
 
 register_jit_warmup("spmv", _spmv_scalar, _spmv_example_args)
+declare_kernel_effects("spmv", "spmv", scalar_fn=_spmv_scalar)
 
 
 def spmv_reference(matrix: CsrMatrix, x: np.ndarray) -> np.ndarray:

@@ -19,6 +19,7 @@ from ..engine import (
     AppSpec,
     CompiledKernel,
     Runtime,
+    declare_kernel_effects,
     register_app,
     register_jit_warmup,
     run_app,
@@ -82,6 +83,7 @@ def _sssp_example_args() -> tuple:
 
 
 register_jit_warmup("sssp", _sssp_relax_scalar, _sssp_example_args)
+declare_kernel_effects("sssp", "advance", scalar_fn=_sssp_relax_scalar)
 
 
 def sssp_reference(graph: CsrGraph, source: int) -> np.ndarray:

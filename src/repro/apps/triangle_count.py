@@ -18,6 +18,7 @@ from ..engine import (
     AppSpec,
     CompiledKernel,
     Runtime,
+    declare_kernel_effects,
     register_app,
     register_jit_warmup,
     run_app,
@@ -137,6 +138,9 @@ def _triangle_count_example_args() -> tuple:
 
 register_jit_warmup(
     "intersect", _triangle_count_scalar, _triangle_count_example_args
+)
+declare_kernel_effects(
+    "triangle_count", "intersect", scalar_fn=_triangle_count_scalar
 )
 
 

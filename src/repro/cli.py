@@ -18,6 +18,7 @@ CLI reproduces both entry points::
     python -m repro schedules
     python -m repro engines
     python -m repro table1
+    python -m repro analyze --probe --lint --strict
     python -m repro plans plans.journal
     python -m repro plans compact plans.journal
 
@@ -267,6 +268,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="max silence between server messages in "
                                "seconds (default: 300)")
     _engine_arg(p_submit)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="static kernel-effect analysis: race verdict matrix and repo lints",
+    )
+    p_analyze.add_argument("--apps", nargs="+", default=None,
+                           help="restrict the verdict matrix to these apps "
+                                "(default: every registered app)")
+    p_analyze.add_argument("--schedules", nargs="+", default=None,
+                           help="restrict the matrix to these schedules "
+                                "(default: every registered schedule)")
+    p_analyze.add_argument("--lint", nargs="*", default=None,
+                           metavar="LINT",
+                           help="also run repo lints (bare flag: all of "
+                                "them; see the lint list in the README)")
+    p_analyze.add_argument("--probe", action="store_true",
+                           help="validate every SAFE verdict with the "
+                                "shadow-write dynamic probe")
+    p_analyze.add_argument("--strict", action="store_true",
+                           help="exit 1 on any lint finding, SCATTER-free "
+                                "probe violation, or probe/verdict mismatch")
+    p_analyze.add_argument("--json", type=Path, default=None,
+                           help="write the full report (verdicts, lints, "
+                                "probe) as JSON to this path")
+    p_analyze.add_argument("--root", type=Path, default=None,
+                           help="repo root for the lints (default: the "
+                                "installed tree's root)")
 
     p_plans = sub.add_parser(
         "plans", help="inspect or compact a journaled plan store"
@@ -610,6 +638,120 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 3 if isinstance(last_error, JobRejected) else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import (
+        available_lints,
+        probe_matrix,
+        run_lints,
+        verdict_matrix,
+    )
+    from .core.schedule import available_schedules
+    from .engine import available_apps
+
+    known_apps = set(available_apps())
+    for app in args.apps or ():
+        if app not in known_apps:
+            print(f"unknown app {app!r}{_did_you_mean(app, known_apps)}",
+                  file=sys.stderr)
+            return 2
+    known_schedules = set(available_schedules())
+    for sched in args.schedules or ():
+        if sched not in known_schedules:
+            print(
+                f"unknown schedule {sched!r}"
+                f"{_did_you_mean(sched, known_schedules)}",
+                file=sys.stderr,
+            )
+            return 2
+    lints = args.lint
+    if lints is not None:
+        known_lints = set(available_lints())
+        for lint in lints:
+            if lint not in known_lints:
+                print(f"unknown lint {lint!r}{_did_you_mean(lint, known_lints)}",
+                      file=sys.stderr)
+                return 2
+        if not lints:
+            lints = list(available_lints())
+
+    matrix = verdict_matrix(apps=args.apps, schedules=args.schedules)
+    sched_names = matrix["schedules"]
+    width = max((len(s) for s in sched_names), default=8)
+    kernel_col = max(
+        [len(f"{r['app']}/{r['label']}") for r in matrix["rows"]] + [6]
+    )
+    print(f"{'kernel':<{kernel_col}} " +
+          " ".join(f"{s:>{width}}" for s in sched_names))
+    for row in matrix["rows"]:
+        name = f"{row['app']}/{row['label']}"
+        if row["delegates_to"]:
+            name += "*"
+        print(f"{name:<{kernel_col}} " +
+              " ".join(f"{row['verdicts'][s]:>{width}}" for s in sched_names))
+    if any(r["delegates_to"] for r in matrix["rows"]):
+        print("(* delegates its kernel to another app)")
+
+    violations: list[str] = []
+    probe_report = None
+    if args.probe:
+        probed = probe_matrix(apps=args.apps, schedules=args.schedules)
+        probe_report = []
+        for row in matrix["rows"]:
+            for sched in sched_names:
+                result = probed.get((row["app"], sched))
+                if result is None:
+                    continue
+                overlaps = result.overlaps_for(row["label"])
+                probe_report.append(
+                    {
+                        "app": row["app"],
+                        "schedule": sched,
+                        "label": row["label"],
+                        "verdict": row["verdicts"][sched],
+                        "overlaps": overlaps,
+                    }
+                )
+                if row["verdicts"][sched] == "SAFE" and overlaps:
+                    violations.append(
+                        f"probe violation: {row['app']}/{row['label']} under "
+                        f"{sched} is SAFE but {overlaps} element(s) were "
+                        "written by multiple threads"
+                    )
+        safe_cells = sum(1 for e in probe_report if e["verdict"] == "SAFE")
+        print(f"probe: {len(probe_report)} cells, {safe_cells} SAFE, "
+              f"{len(violations)} violation(s)")
+        for line in violations:
+            print(line, file=sys.stderr)
+
+    findings = []
+    if lints is not None:
+        findings = run_lints(lints, root=args.root)
+        for f in findings:
+            print(f"{f.path}:{f.line}: [{f.lint}] {f.message}",
+                  file=sys.stderr)
+        print(f"lints: {len(lints)} run, {len(findings)} finding(s)")
+
+    if args.json is not None:
+        import json as _json
+
+        report = {
+            "verdicts": matrix,
+            "lints": [
+                {"lint": f.lint, "path": f.path, "line": f.line,
+                 "message": f.message}
+                for f in findings
+            ],
+            "probe": probe_report,
+            "violations": violations,
+        }
+        args.json.write_text(_json.dumps(report, indent=2) + "\n")
+        print(f"wrote report to {args.json}")
+
+    if args.strict and (findings or violations):
+        return 1
+    return 0
+
+
 def _check_plan_store_path(path: Path) -> str | None:
     """Validate that ``path`` looks like one of our plan-store journals.
 
@@ -682,6 +824,7 @@ _COMMANDS = {
     "engines": _cmd_engines,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "analyze": _cmd_analyze,
     "plans": _cmd_plans,
 }
 

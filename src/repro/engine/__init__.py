@@ -80,13 +80,17 @@ from .compiled import (
     CompilationCache,
     CompiledEngine,
     CompiledKernel,
+    EffectDecl,
     clear_compilation_cache,
     compilation_cache,
     compilation_cache_stats,
+    declare_kernel_effects,
+    effect_declarations,
     numba_available,
     precompile_kernels,
     register_jit_warmup,
     registered_warmups,
+    tile_writer_counts,
 )
 from .multi_gpu import MultiGpuEngine
 from .context import DEFAULT_CONTEXT, ExecutionContext
@@ -157,6 +161,10 @@ __all__ = [
     "CompiledEngine",
     "CompiledKernel",
     "CompilationCache",
+    "EffectDecl",
+    "declare_kernel_effects",
+    "effect_declarations",
+    "tile_writer_counts",
     "compilation_cache",
     "compilation_cache_stats",
     "clear_compilation_cache",

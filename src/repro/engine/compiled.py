@@ -50,13 +50,17 @@ __all__ = [
     "CompiledKernel",
     "CompiledEngine",
     "CompilationCache",
+    "EffectDecl",
     "compilation_cache",
     "compilation_cache_stats",
     "clear_compilation_cache",
+    "declare_kernel_effects",
+    "effect_declarations",
     "register_jit_warmup",
     "precompile_kernels",
     "registered_warmups",
     "numba_available",
+    "tile_writer_counts",
 ]
 
 # Numba is an *optional* accelerator: the engine must exist (and produce
@@ -365,6 +369,162 @@ def materialize_loads(sched: Schedule) -> tuple[np.ndarray, np.ndarray]:
 
 
 # ----------------------------------------------------------------------
+# Per-tile writer counts: the race-analysis marginal of the loads.
+#
+# The load builders answer "how much work does each thread get"; the
+# static race analysis (repro.analysis.races) needs the transpose --
+# "how many distinct threads touch each tile's output".  A thread is a
+# *writer* of a tile when the tile-reduction contract every kernel body
+# follows would make it store: it holds at least one of the tile's atoms,
+# or the schedule lets it claim the whole tile via ``owns_tile_fully``
+# (merge-path / nonzero-split full owners write even empty tiles).
+# ----------------------------------------------------------------------
+def _writers_thread_mapped(sched: Schedule) -> np.ndarray:
+    # One owner thread per tile; kernels skip empty tiles (no owner API).
+    counts = sched.work.atoms_per_tile()
+    return (counts > 0).astype(np.int64)
+
+
+def _writers_lane_strided(counts: np.ndarray, group_size: int) -> np.ndarray:
+    """Lanes stride a tile's atoms, so min(count, group size) lanes hold
+    at least one atom -- the tile's distinct atomic writers."""
+    return np.minimum(counts.astype(np.int64), int(group_size))
+
+
+def _writers_group_per_tile(sched: Schedule) -> np.ndarray:
+    return _writers_lane_strided(sched.work.atoms_per_tile(), sched.group_size())
+
+
+def _writers_group_mapped(sched: Schedule) -> np.ndarray:
+    return _writers_lane_strided(sched.work.atoms_per_tile(), sched.group_size)
+
+
+def _writers_lrb(sched: Schedule) -> np.ndarray:
+    return _writers_lane_strided(
+        sched.work.atoms_per_tile(), sched.spec.warp_size
+    )
+
+
+def _span_stab_writers(
+    first: np.ndarray, last: np.ndarray, active: np.ndarray, num_tiles: int
+) -> np.ndarray:
+    """Count, per tile, the threads whose visited-tile span covers it.
+
+    For contiguous-range schedules (merge-path, nonzero-split) a thread
+    writes exactly the tiles of its span: nonempty tiles via its atoms,
+    empty interior tiles via ``owns_tile_fully`` -- so span stabbing is
+    the writer count for both.
+    """
+    diff = np.zeros(num_tiles + 1, dtype=np.int64)
+    lo = first[active]
+    hi = last[active] + 1
+    np.add.at(diff, lo, 1)
+    np.add.at(diff, np.minimum(hi, num_tiles), -1)
+    return np.cumsum(diff[:num_tiles])
+
+
+def _writers_merge_path(sched: Schedule) -> np.ndarray:
+    tile_bounds = sched._tile_bounds
+    atom_bounds = sched._atom_bounds
+    offsets = sched.work.tile_offsets
+    num_tiles = sched.work.num_tiles
+    i0, i1 = tile_bounds[:-1], tile_bounds[1:]
+    j0, j1 = atom_bounds[:-1], atom_bounds[1:]
+    partial = (i1 < num_tiles) & (j1 > offsets[np.minimum(i1, num_tiles)])
+    visits = i1 - i0 + partial
+    # A thread entering at a drained tile boundary (the previous thread
+    # consumed tile i0's last atom without crossing it on the merge
+    # path, so j0 == offsets[i0 + 1]) holds no atoms of i0 and does not
+    # own it fully: its writes start at the next tile.  Empty first
+    # tiles stay: the thread owns them (j0 == offsets[i0]) and the
+    # direct-store path touches owned tiles even with zero atoms.
+    i0c = np.minimum(i0, num_tiles - 1)
+    nonempty_first = offsets[i0c + 1] > offsets[i0c]
+    skip_first = (visits > 0) & nonempty_first & (j0 >= offsets[i0c + 1])
+    first = i0 + skip_first
+    last = i0 + np.maximum(visits, 1) - 1
+    return _span_stab_writers(first, last, (visits > 0) & (first <= last),
+                              num_tiles)
+
+
+def _writers_nonzero_split(sched: Schedule) -> np.ndarray:
+    j0 = sched._atom_bounds[:-1]
+    j1 = sched._atom_bounds[1:]
+    num_tiles = sched.work.num_tiles
+    first = sched._tile_at_bound[:-1]
+    last = sched.work.tile_of_atom(np.maximum(j1 - 1, 0))
+    return _span_stab_writers(first, last, j1 > j0, num_tiles)
+
+
+def _writers_dynamic_queue(sched: Schedule) -> np.ndarray:
+    # Chunks are disjoint full-tile ranges popped atomically: whichever
+    # thread pops a chunk is its tiles' single writer (empty tiles are
+    # skipped by the kernels' ``if n`` guards, as in thread-mapped).
+    counts = sched.work.atoms_per_tile()
+    return (counts > 0).astype(np.int64)
+
+
+_WRITER_BUILDERS: dict[str, Callable[[Schedule], np.ndarray]] = {
+    "thread_mapped": _writers_thread_mapped,
+    "warp_mapped": _writers_group_per_tile,
+    "block_mapped": _writers_group_per_tile,
+    "group_mapped": _writers_group_mapped,
+    "lrb": _writers_lrb,
+    "merge_path": _writers_merge_path,
+    "nonzero_split": _writers_nonzero_split,
+    "dynamic_queue": _writers_dynamic_queue,
+}
+
+
+def _generic_tile_writers(sched: Schedule) -> np.ndarray:
+    """Probe the distinct writers of every tile thread-by-thread.
+
+    Ground truth for :func:`tile_writer_counts` (asserted equal to the
+    closed forms in tests) and the fallback for custom schedules: walk
+    ``tiles()``/``atoms()`` in launch order and record, per tile, each
+    thread that holds an atom or fully owns the tile.
+    """
+    launch, spec = sched.launch, sched.spec
+    writers: list[set] = [set() for _ in range(sched.work.num_tiles)]
+    owns = getattr(sched, "owns_tile_fully", None)
+    reset = getattr(sched, "reset_queue", None)
+    if reset is not None:
+        reset()
+    for block_idx in range(launch.grid_dim):
+        for thread_idx in range(launch.block_dim):
+            ctx = _ProbeCtx(
+                thread_idx, block_idx, launch.block_dim, launch.grid_dim, spec
+            )
+            t = ctx.global_thread_id
+            for tile in sched.tiles(ctx):
+                rng = sched.atoms(ctx, tile)
+                if not isinstance(rng, StepRange):  # pragma: no cover
+                    rng = list(rng)
+                if len(rng) > 0 or (owns is not None and owns(ctx, tile)):
+                    writers[int(tile)].add(t)
+    if reset is not None:
+        reset()
+    return np.array([len(w) for w in writers], dtype=np.int64)
+
+
+def tile_writer_counts(sched: Schedule) -> np.ndarray:
+    """Distinct threads that write each tile's output under ``sched``.
+
+    Closed form per built-in schedule (the writer-set marginal of the
+    load builders above), generically probed for custom ones.  A count
+    above 1 means the tile's partial results need combination (the
+    ``REDUCE`` verdict of :mod:`repro.analysis.races`).
+    """
+    builder = _WRITER_BUILDERS.get(sched.name)
+    if builder is not None:
+        try:
+            return builder(sched)
+        except AttributeError:
+            pass
+    return _generic_tile_writers(sched)
+
+
+# ----------------------------------------------------------------------
 # Compilation cache
 # ----------------------------------------------------------------------
 #: Environment knob bounding the load cache (entries, LRU-evicted).
@@ -479,6 +639,82 @@ def register_jit_warmup(
 def registered_warmups() -> tuple[str, ...]:
     """Labels of every registered precompilable kernel."""
     return tuple(sorted(_WARMUPS))
+
+
+# ----------------------------------------------------------------------
+# Effect declarations: the hook the static analyzer reads.
+#
+# ``repro.analysis.effects`` infers each kernel's write classes from the
+# scalar body's AST; apps whose bodies inference cannot see (spgemm's
+# "compute" keeps ``scalar_fn=None``) or that delegate to another app's
+# kernels (pagerank drives spmv) register an explicit declaration here.
+# Registration is part of the app contract now: a kernel without either
+# an inferable scalar body or a declaration fails the ``kernel-parity``
+# lint.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EffectDecl:
+    """Declared effect hints for one ``(app, kernel label)`` pair.
+
+    Attributes
+    ----------
+    app / label:
+        Registry app name and :class:`CompiledKernel` label.
+    scalar_fn:
+        The analyzable scalar body, when one exists (usually the same
+        function passed to :func:`register_jit_warmup`).
+    outputs:
+        Names of the output arrays among the scalar body's parameters
+        (in addition to any the analyzer infers from return statements).
+    writes:
+        Explicit ``{array name: write class}`` overrides for arrays the
+        AST pass cannot classify -- classes are ``"atom_private"``,
+        ``"tile_private"``, ``"global_reduce"``, ``"scatter"``.
+    delegates_to:
+        App name whose kernel effects this app inherits (pagerank's
+        driver composes spmv launches and declares no kernel of its
+        own).
+    """
+
+    app: str
+    label: str
+    scalar_fn: Callable[..., Any] | None = None
+    outputs: tuple = ()
+    writes: Any = None  # dict | None; kept Any so the dataclass stays frozen
+    delegates_to: str | None = None
+
+
+_EFFECT_DECLS: dict[tuple[str, str], EffectDecl] = {}
+
+
+def declare_kernel_effects(
+    app: str,
+    label: str,
+    *,
+    scalar_fn: Callable[..., Any] | None = None,
+    outputs: tuple = (),
+    writes: dict | None = None,
+    delegates_to: str | None = None,
+) -> EffectDecl:
+    """Register effect hints for one kernel (idempotent re-register)."""
+    decl = EffectDecl(
+        app=app,
+        label=label,
+        scalar_fn=scalar_fn,
+        outputs=tuple(outputs),
+        writes=dict(writes) if writes else None,
+        delegates_to=delegates_to,
+    )
+    _EFFECT_DECLS[(app, label)] = decl
+    return decl
+
+
+def effect_declarations(app: str | None = None) -> tuple[EffectDecl, ...]:
+    """Registered declarations, optionally filtered to one app."""
+    decls = sorted(_EFFECT_DECLS.items())
+    return tuple(
+        decl for (a, _label), decl in decls if app is None or a == app
+    )
 
 
 def precompile_kernels(labels=None) -> int:

@@ -161,14 +161,32 @@ class SimtEngine(Engine):
 
     name = "simt"
 
+    def _materialize_kernel(self, kernel):
+        """Build the (body, finalize) pair for one launch.
+
+        Seam for instrumenting engines: the shadow-write race probe
+        (:mod:`repro.analysis.probe`) overrides this to capture the
+        arrays the kernel closure allocates.
+        """
+        return kernel()
+
+    def _instrument_body(self, body):
+        """Wrap the per-thread body before interpretation (seam for
+        instrumenting engines; identity here)."""
+        return body
+
     def launch(self, sched, costs, *, compute=None, kernel=None, compiled=None,
                extras=None, cache_key=None):
         if kernel is None:
             app = (extras or {}).get("app", "this application")
             raise EngineError(f"{app} does not define a SIMT kernel body")
-        body, finalize = kernel()
+        body, finalize = self._materialize_kernel(kernel)
         result = launch_interpreted(
-            body, sched.launch.grid_dim, sched.launch.block_dim, (), sched.spec
+            self._instrument_body(body),
+            sched.launch.grid_dim,
+            sched.launch.block_dim,
+            (),
+            sched.spec,
         )
         stats = kernel_stats_from_thread_cycles(
             result.thread_cycles,

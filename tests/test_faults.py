@@ -288,6 +288,64 @@ class TestExecutorChaos:
         assert info["transport_fallbacks"] == 0
 
 
+class TestSharingFaults:
+    """Publish/attach faults on the shm sharing paths degrade to local work.
+
+    The sharing layer's contract: a refused publish (``shm.publish``,
+    ``oracle.publish``) means the caller keeps its pickle/local path, a
+    failed payload attach (``oracle.attach``) means the worker rebuilds
+    locally, and a ``worker.start`` fault surfaces as the warmup error
+    the pool's respawn logic handles -- never a wrong row or leaked
+    segment.
+    """
+
+    def test_shm_publish_refusal_returns_none(self, shm_ledger):
+        from repro.engine.worker_pool import publish_dataset
+        from repro.sparse.corpus import build_corpus
+
+        dataset = build_corpus("smoke")[0]
+        configure_faults("shm.publish:drop@*")
+        assert publish_dataset(dataset) is None
+        clear_faults()
+        published = publish_dataset(dataset)
+        assert published is not None  # the refusal was the fault, not shm
+        published.shm.close()
+        published.shm.unlink()
+
+    def test_oracle_publish_refusal_and_attach_fallback(self, shm_ledger):
+        from multiprocessing import shared_memory
+
+        import numpy as np
+
+        from repro.engine.worker_pool import attach_payload, publish_payload
+
+        payload = np.arange(16.0)
+        configure_faults("oracle.publish:drop@*")
+        assert publish_payload(payload) is None
+        clear_faults()
+        handle = publish_payload(payload)
+        assert handle is not None
+        try:
+            configure_faults("oracle.attach:drop@*")
+            assert attach_payload(handle) is None  # caller rebuilds locally
+            clear_faults()
+            attached = attach_payload(handle)
+            assert np.array_equal(attached, payload)
+        finally:
+            clear_faults()
+            shm = shared_memory.SharedMemory(name=handle.shm_name)
+            shm.close()
+            shm.unlink()
+
+    def test_worker_start_fault_raises_in_warmup(self):
+        from repro.engine.worker_pool import _worker_warmup
+
+        configure_faults("worker.start:err@1")
+        with pytest.raises(FaultInjected, match="worker.start"):
+            _worker_warmup(None, None)
+        _worker_warmup(None, None)  # fired once; the respawned slot warms up
+
+
 class TestJournalChaos:
     def test_torn_write_loses_exactly_one_record(self, tmp_path):
         configure_faults("journal.write:torn@2")
